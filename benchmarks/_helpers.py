@@ -1,0 +1,41 @@
+"""Formatting helpers shared by the benchmark targets."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import loss_vs_time_series, summarize_series, tau_vs_time_series
+from repro.utils.results import RunRecord, RunStore
+
+
+def format_series(series: list[tuple[float, float]], n_points: int = 10, fmt: str = "{:8.1f} {:10.4f}") -> str:
+    """Render a downsampled (x, y) series as aligned text rows."""
+    lines = [fmt.format(x, y) for x, y in summarize_series(series, n_points=n_points)]
+    return "\n".join(lines)
+
+
+def format_loss_curves(store: RunStore, n_points: int = 10, title: str = "") -> str:
+    """Render every run's loss-vs-wall-clock curve (the Figure 9/10/11 content)."""
+    blocks = [title] if title else []
+    for record in store:
+        blocks.append(f"-- {record.name}  (final loss {record.final_loss():.4f}, "
+                      f"best acc {100 * record.best_accuracy():.2f}%)")
+        blocks.append("  wall_time  train_loss")
+        blocks.append(format_series(loss_vs_time_series(record), n_points=n_points))
+    return "\n".join(blocks)
+
+
+def format_tau_staircase(record: RunRecord, n_points: int = 12) -> str:
+    """Render the communication-period staircase of an AdaComm run."""
+    series = [(t, float(tau)) for t, tau in tau_vs_time_series(record)]
+    return "  wall_time  tau\n" + format_series(series, n_points=n_points, fmt="{:8.1f} {:10.0f}")
+
+
+def format_speedups(store: RunStore, baseline: str, target_loss: float, title: str = "") -> str:
+    """Render 'time to target loss' and the speedup over a baseline method."""
+    lines = [title] if title else []
+    base_time = store.get(baseline).time_to_loss(target_loss)
+    lines.append(f"target training loss: {target_loss}")
+    for record in store:
+        t = record.time_to_loss(target_loss)
+        speedup = base_time / t if t > 0 else float("nan")
+        lines.append(f"  {record.name:14s} time-to-target {t:9.1f} s   speedup over {baseline}: {speedup:5.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Figure 11: ADACOMM combined with block momentum (Section 5.3).
+
+The paper applies the block-momentum scheme of eq. 24–25 (global momentum
+β_glob = 0.3 on the accumulated per-period update, local momentum 0.9 with
+buffers cleared at every averaging step) and shows ADACOMM retains its
+wall-clock advantage in this setting as well.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import format_loss_curves, format_speedups, format_tau_staircase
+from repro.experiments.configs import make_config
+from repro.experiments.harness import run_experiment
+
+
+def _floor(record) -> float:
+    return float(np.mean(record.train_losses[-8:]))
+
+
+def bench_fig11b_vgg_block_momentum_cifar10(benchmark, report):
+    store = benchmark.pedantic(
+        lambda: run_experiment(make_config("vgg_cifar10_block_momentum")), rounds=1, iterations=1
+    )
+    target = 0.85
+    text = "\n".join(
+        [
+            format_loss_curves(
+                store, title="Figure 11(b) — vgg_lite + block momentum (beta_glob=0.3, local 0.9), synth-CIFAR10"
+            ),
+            format_speedups(store, baseline="sync-sgd", target_loss=target),
+            "AdaComm communication-period staircase:",
+            format_tau_staircase(store.get("adacomm")),
+        ]
+    )
+    report(text)
+    ada, sync = store.get("adacomm"), store.get("sync-sgd")
+    assert ada.time_to_loss(target) < sync.time_to_loss(target)
+
+
+def bench_fig11a_resnet_block_momentum_cifar10(benchmark, report):
+    store = benchmark.pedantic(
+        lambda: run_experiment(make_config("resnet_cifar10_block_momentum")), rounds=1, iterations=1
+    )
+    target = 0.9
+    text = "\n".join(
+        [
+            format_loss_curves(
+                store, title="Figure 11(a) — resnet_lite + block momentum, synth-CIFAR10"
+            ),
+            format_speedups(store, baseline="sync-sgd", target_loss=target),
+        ]
+    )
+    report(text)
+    assert store.get("adacomm").time_to_loss(target) < 1.3 * store.get("sync-sgd").time_to_loss(target)
+
+
+def bench_fig11c_resnet_block_momentum_cifar100(benchmark, report):
+    store = benchmark.pedantic(
+        lambda: run_experiment(make_config("resnet_cifar100_block_momentum")), rounds=1, iterations=1
+    )
+    target = 3.5
+    text = "\n".join(
+        [
+            format_loss_curves(
+                store, title="Figure 11(c) — resnet_lite + block momentum, synth-CIFAR100"
+            ),
+            format_speedups(store, baseline="sync-sgd", target_loss=target),
+        ]
+    )
+    report(text)
+    assert np.isfinite(store.get("adacomm").final_loss())

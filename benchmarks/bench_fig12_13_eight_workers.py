@@ -1,0 +1,50 @@
+"""Figures 12–13 (appendix): 8-worker runs with variable learning rate.
+
+The appendix repeats the main experiments with m = 8 workers (per-worker
+mini-batch 64, NCCL all-reduce in the paper; here the same delay model with
+m = 8).  The qualitative conclusions are unchanged: ADACOMM is ~2.9× faster
+than synchronous SGD on the communication-heavy workload and ~1.6× on the
+compute-heavy one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import format_loss_curves, format_speedups, format_tau_staircase
+from repro.experiments.configs import make_config
+from repro.experiments.harness import run_experiment
+
+
+def bench_fig12_vgg_8workers_variable_lr(benchmark, report):
+    store = benchmark.pedantic(
+        lambda: run_experiment(make_config("vgg_cifar10_8workers")), rounds=1, iterations=1
+    )
+    target = 0.85
+    text = "\n".join(
+        [
+            format_loss_curves(store, title="Figure 12 — vgg_lite, variable LR, synth-CIFAR10, 8 workers"),
+            format_speedups(store, baseline="sync-sgd", target_loss=target),
+            "AdaComm communication-period staircase:",
+            format_tau_staircase(store.get("adacomm")),
+        ]
+    )
+    report(text)
+    ada, sync = store.get("adacomm"), store.get("sync-sgd")
+    assert ada.time_to_loss(target) < sync.time_to_loss(target)
+
+
+def bench_fig13_resnet_8workers_variable_lr(benchmark, report):
+    store = benchmark.pedantic(
+        lambda: run_experiment(make_config("resnet_cifar10_8workers")), rounds=1, iterations=1
+    )
+    target = 0.9
+    text = "\n".join(
+        [
+            format_loss_curves(store, title="Figure 13 — resnet_lite, variable LR, synth-CIFAR10, 8 workers"),
+            format_speedups(store, baseline="sync-sgd", target_loss=target),
+        ]
+    )
+    report(text)
+    assert store.get("adacomm").time_to_loss(target) < 1.3 * store.get("sync-sgd").time_to_loss(target)
+    assert np.isfinite(store.get("adacomm").final_loss())

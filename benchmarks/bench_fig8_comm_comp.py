@@ -1,0 +1,75 @@
+"""Figure 8: wall-clock time to finish 100 iterations, split into computation
+and communication, for the ResNet-like and VGG-like workloads at τ=1 and τ=10.
+
+In the paper this is measured on the 4-node testbed; here it is produced by
+the calibrated delay model (α_vgg ≈ 4, α_resnet ≈ 0.5), run through the same
+runtime simulator that drives the training benchmarks, so the bar heights
+directly explain why VGG benefits from large τ much more than ResNet.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.configs import make_config
+from repro.runtime.distributions import ShiftedExponentialDelay
+from repro.runtime.network import NetworkModel
+from repro.runtime.simulator import RuntimeSimulator
+
+N_ITERATIONS = 100
+CASES = [
+    ("resnet_lite, tau=1", "resnet_cifar10_fixed_lr", 1),
+    ("resnet_lite, tau=10", "resnet_cifar10_fixed_lr", 10),
+    ("vgg_lite,    tau=1", "vgg_cifar10_fixed_lr", 1),
+    ("vgg_lite,    tau=10", "vgg_cifar10_fixed_lr", 10),
+]
+
+
+def _simulate_case(config_name: str, tau: int) -> dict[str, float]:
+    config = make_config(config_name)
+    scale = config.compute_time * config.compute_time_std_fraction
+    compute = ShiftedExponentialDelay(shift=config.compute_time - scale, scale=scale)
+    simulator = RuntimeSimulator(
+        compute,
+        NetworkModel(config.communication_delay, config.network_scaling),
+        config.n_workers,
+        rng=0,
+    )
+    rounds = N_ITERATIONS // tau
+    for _ in range(rounds):
+        simulator.sample_local_period(tau)
+        simulator.sample_communication()
+    return simulator.breakdown()
+
+
+def _run_all():
+    return [(label, _simulate_case(name, tau)) for label, name, tau in CASES]
+
+
+def bench_fig8_comm_comp_breakdown(benchmark, report):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    lines = [
+        f"Figure 8 — simulated wall-clock time to finish {N_ITERATIONS} iterations (4 workers)",
+        "  case                 compute_time  communication_time  total",
+    ]
+    table = {}
+    for label, breakdown in results:
+        total = breakdown["compute_time"] + breakdown["communication_time"]
+        table[label.strip()] = breakdown
+        lines.append(
+            f"  {label:20s} {breakdown['compute_time']:12.1f}  {breakdown['communication_time']:18.1f}  {total:6.1f}"
+        )
+    vgg1 = table["vgg_lite,    tau=1"]
+    res1 = table["resnet_lite, tau=1"]
+    lines.append(
+        f"  comm/comp ratio at tau=1:  vgg_lite {vgg1['communication_time'] / vgg1['compute_time']:.2f}"
+        f"   resnet_lite {res1['communication_time'] / res1['compute_time']:.2f}"
+        "   (paper: ~4 for VGG-16, <1 for ResNet-50)"
+    )
+    report("\n".join(lines))
+
+    # Shape checks: VGG is communication-dominated at tau=1, ResNet is not; tau=10
+    # slashes the communication share for both.
+    assert vgg1["communication_time"] > vgg1["compute_time"]
+    assert res1["communication_time"] < res1["compute_time"]
+    vgg10 = table["vgg_lite,    tau=10"]
+    assert vgg10["communication_time"] < 0.2 * vgg1["communication_time"]

@@ -1,0 +1,48 @@
+"""Quickstart: compare fully synchronous SGD, fixed-τ PASGD, and ADACOMM.
+
+Runs the small "smoke" workload on a simulated 2-worker cluster and prints,
+for each method, the training-loss trajectory against simulated wall-clock
+time plus the wall-clock speed-up of ADACOMM over synchronous SGD.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import make_config, run_experiment
+from repro.experiments.figures import loss_vs_time_series, summarize_series
+from repro.experiments.tables import format_table, time_to_loss_table
+
+
+def main() -> None:
+    # A named experiment config: model, synthetic dataset, cluster size, delay
+    # model, learning-rate schedule, and the ADACOMM settings.
+    config = make_config("smoke")
+    print(f"workload: {config.name}  ({config.n_workers} workers, alpha = {config.alpha})")
+
+    # run_experiment trains every method (sync SGD, fixed-tau PASGD, AdaComm)
+    # on the same data split and delay model and returns a RunStore.
+    store = run_experiment(config)
+
+    for record in store:
+        print(f"\n=== {record.name} ===")
+        print(f"  final training loss : {record.final_loss():.4f}")
+        print(f"  best test accuracy  : {100 * record.best_accuracy():.2f}%")
+        print("  loss vs simulated wall-clock time:")
+        for t, loss in summarize_series(loss_vs_time_series(record), n_points=6):
+            print(f"    t = {t:6.1f} s   loss = {loss:.4f}")
+
+    # The paper's headline metric: wall-clock time to reach a target loss.
+    target = 0.5
+    print()
+    print(format_table(
+        ["method", "time to loss <= 0.5 (s)", "best loss"],
+        time_to_loss_table(store, target_loss=target),
+        title="Time to target training loss",
+    ))
+    speedup = store.speedup("adacomm", "sync-sgd", target_loss=target)
+    print(f"\nADACOMM speed-up over fully synchronous SGD at loss {target}: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""repro — reproduction of ADACOMM (Wang & Joshi, MLSys 2019).
+
+"Adaptive Communication Strategies to Achieve the Best Error-Runtime
+Trade-off in Local-Update SGD" analyses periodic-averaging SGD (PASGD) in
+terms of error versus *wall-clock time* and proposes ADACOMM, an adaptive
+communication-period schedule.  This package implements the full system from
+scratch on NumPy: the autograd/NN substrate, a simulated multi-worker cluster
+with a stochastic delay model, PASGD with fixed and adaptive communication
+periods, block momentum, the paper's theoretical bounds, and an experiment
+harness that regenerates every table and figure of the evaluation section.
+
+Quickstart
+----------
+>>> from repro import make_config, run_experiment
+>>> config = make_config("smoke")
+>>> store = run_experiment(config)
+>>> sorted(store.names())  # doctest: +ELLIPSIS
+['adacomm', ...]
+"""
+
+from repro.core import (
+    AdaCommConfig,
+    AdaCommController,
+    AdaCommSchedule,
+    FixedCommunicationSchedule,
+    PASGDTrainer,
+    SequenceCommunicationSchedule,
+    TrainerConfig,
+    TheoreticalConstants,
+    basic_tau_update,
+    refined_tau_update,
+    lr_coupled_tau_update,
+    error_runtime_bound,
+    optimal_communication_period,
+)
+from repro.distributed import SimulatedCluster, Worker
+from repro.experiments import (
+    ExperimentConfig,
+    available_configs,
+    default_methods,
+    make_config,
+    run_experiment,
+    run_method,
+)
+from repro.optim import SGD, BlockMomentum, ConstantLR, MultiStepLR, TauGatedStepLR
+from repro.runtime import (
+    ConstantDelay,
+    ExponentialDelay,
+    NetworkModel,
+    RuntimeModel,
+    RuntimeSimulator,
+    speedup_constant_delays,
+)
+from repro.utils import RunRecord, RunStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaCommConfig",
+    "AdaCommController",
+    "AdaCommSchedule",
+    "FixedCommunicationSchedule",
+    "SequenceCommunicationSchedule",
+    "PASGDTrainer",
+    "TrainerConfig",
+    "TheoreticalConstants",
+    "basic_tau_update",
+    "refined_tau_update",
+    "lr_coupled_tau_update",
+    "error_runtime_bound",
+    "optimal_communication_period",
+    "SimulatedCluster",
+    "Worker",
+    "ExperimentConfig",
+    "available_configs",
+    "default_methods",
+    "make_config",
+    "run_experiment",
+    "run_method",
+    "SGD",
+    "BlockMomentum",
+    "ConstantLR",
+    "MultiStepLR",
+    "TauGatedStepLR",
+    "ConstantDelay",
+    "ExponentialDelay",
+    "NetworkModel",
+    "RuntimeModel",
+    "RuntimeSimulator",
+    "speedup_constant_delays",
+    "RunRecord",
+    "RunStore",
+    "__version__",
+]

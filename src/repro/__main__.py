@@ -1,0 +1,8 @@
+"""Allow ``python -m repro --config <name>`` to run an experiment."""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

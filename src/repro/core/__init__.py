@@ -1,0 +1,59 @@
+"""Core contribution: error-runtime theory, AdaComm, and the PASGD trainer.
+
+* ``theory`` — Theorem 1's error-runtime bound, Theorem 2's optimal τ*, and
+  Theorem 3's convergence-condition checks for variable (τ, η) sequences.
+* ``adacomm`` — the communication-period update rules (basic eq. 17,
+  saturation-refined eq. 18, learning-rate-coupled eq. 19/20) and the
+  :class:`AdaCommController` that applies them every T0 seconds of simulated
+  wall-clock time.
+* ``schedules`` — the ``CommunicationSchedule`` interface with fixed-τ,
+  explicit-sequence, and AdaComm-driven implementations.
+* ``trainer`` — :class:`PASGDTrainer`, which drives a simulated cluster under
+  a communication schedule and an LR schedule and records loss/accuracy
+  versus iterations *and* simulated wall-clock time.
+"""
+
+from repro.core.theory import (
+    TheoreticalConstants,
+    error_runtime_bound,
+    error_iteration_bound,
+    optimal_communication_period,
+    adacomm_convergence_conditions,
+    variable_tau_bound,
+)
+from repro.core.adacomm import (
+    AdaCommConfig,
+    AdaCommController,
+    basic_tau_update,
+    refined_tau_update,
+    lr_coupled_tau_update,
+    estimate_initial_tau,
+)
+from repro.core.schedules import (
+    CommunicationSchedule,
+    FixedCommunicationSchedule,
+    SequenceCommunicationSchedule,
+    AdaCommSchedule,
+)
+from repro.core.trainer import PASGDTrainer, TrainerConfig
+
+__all__ = [
+    "TheoreticalConstants",
+    "error_runtime_bound",
+    "error_iteration_bound",
+    "optimal_communication_period",
+    "adacomm_convergence_conditions",
+    "variable_tau_bound",
+    "AdaCommConfig",
+    "AdaCommController",
+    "basic_tau_update",
+    "refined_tau_update",
+    "lr_coupled_tau_update",
+    "estimate_initial_tau",
+    "CommunicationSchedule",
+    "FixedCommunicationSchedule",
+    "SequenceCommunicationSchedule",
+    "AdaCommSchedule",
+    "PASGDTrainer",
+    "TrainerConfig",
+]

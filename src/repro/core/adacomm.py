@@ -1,0 +1,288 @@
+"""ADACOMM: the adaptive communication-period strategy (Section 4).
+
+The controller divides training into wall-clock intervals of length ``T0``
+and recomputes the communication period at each interval boundary from the
+observed training loss (and, optionally, the current learning rate):
+
+* basic rule (eq. 17):      τ_l = ceil( sqrt(F_l / F_0) · τ_0 )
+* refined rule (eq. 18):    if the basic rule fails to strictly decrease τ,
+                            multiply the previous τ by γ < 1 instead
+                            (the paper uses γ = 1/2)
+* LR-coupled rule (eq. 20): τ_l = ceil( sqrt( (η_0/η_l) · F_l / F_0 ) · τ_0 )
+  (the practical ``η L ≈ 1`` approximation of eq. 19, which avoids the
+  unreasonably large τ values the raw (η_0/η_l)^{3/2} coupling produces).
+
+``estimate_initial_tau`` reproduces the paper's heuristic of grid-searching
+τ_0 over one short trial per candidate, and also exposes the theory-driven
+alternative based on Theorem 2 when the problem constants are known.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.theory import TheoreticalConstants, optimal_communication_period
+
+__all__ = [
+    "basic_tau_update",
+    "refined_tau_update",
+    "lr_coupled_tau_update",
+    "estimate_initial_tau",
+    "AdaCommConfig",
+    "AdaCommController",
+]
+
+
+def basic_tau_update(initial_loss: float, current_loss: float, initial_tau: int) -> int:
+    """Basic update rule (eq. 17): ``τ_l = ceil( sqrt(F_l / F_0) · τ_0 )``.
+
+    The returned value is always at least 1.
+    """
+    _validate_losses(initial_loss, current_loss)
+    if initial_tau < 1:
+        raise ValueError(f"initial_tau must be >= 1, got {initial_tau}")
+    ratio = math.sqrt(current_loss / initial_loss)
+    return max(1, math.ceil(ratio * initial_tau))
+
+
+def lr_coupled_tau_update(
+    initial_loss: float,
+    current_loss: float,
+    initial_tau: int,
+    initial_lr: float,
+    current_lr: float,
+) -> int:
+    """Learning-rate-coupled update rule (eq. 20).
+
+    ``τ_l = ceil( sqrt( (η_0 / η_l) · F_l / F_0 ) · τ_0 )``; a smaller
+    learning rate tolerates a larger communication period.
+    """
+    _validate_losses(initial_loss, current_loss)
+    if initial_tau < 1:
+        raise ValueError(f"initial_tau must be >= 1, got {initial_tau}")
+    if initial_lr <= 0 or current_lr <= 0:
+        raise ValueError("learning rates must be positive")
+    ratio = math.sqrt((initial_lr / current_lr) * (current_loss / initial_loss))
+    return max(1, math.ceil(ratio * initial_tau))
+
+
+def refined_tau_update(
+    initial_loss: float,
+    current_loss: float,
+    initial_tau: int,
+    previous_tau: int,
+    gamma: float = 0.5,
+    initial_lr: float | None = None,
+    current_lr: float | None = None,
+    slack: int = 0,
+) -> int:
+    """Refined update rule (eq. 18), optionally LR-coupled (eq. 20).
+
+    Computes the candidate τ from the basic (or LR-coupled) rule; if the
+    candidate is not strictly smaller than ``previous_tau`` (minus an optional
+    ``slack``), the period is decayed multiplicatively to ``γ · previous_tau``
+    instead, which prevents τ from stalling when the training loss plateaus.
+    """
+    if previous_tau < 1:
+        raise ValueError(f"previous_tau must be >= 1, got {previous_tau}")
+    if not 0.0 < gamma < 1.0:
+        raise ValueError(f"gamma must be in (0, 1), got {gamma}")
+    if slack < 0:
+        raise ValueError(f"slack must be non-negative, got {slack}")
+
+    if initial_lr is not None and current_lr is not None:
+        candidate = lr_coupled_tau_update(
+            initial_loss, current_loss, initial_tau, initial_lr, current_lr
+        )
+    else:
+        candidate = basic_tau_update(initial_loss, current_loss, initial_tau)
+
+    if candidate + slack < previous_tau:
+        return candidate
+    return max(1, math.floor(gamma * previous_tau))
+
+
+def _validate_losses(initial_loss: float, current_loss: float) -> None:
+    if initial_loss <= 0:
+        raise ValueError(f"initial loss must be positive, got {initial_loss}")
+    if current_loss < 0:
+        raise ValueError(f"current loss must be non-negative, got {current_loss}")
+
+
+def estimate_initial_tau(
+    candidate_taus: list[int] | None = None,
+    trial_losses: dict[int, float] | None = None,
+    constants: TheoreticalConstants | None = None,
+    lr: float | None = None,
+    interval_length: float | None = None,
+    max_tau: int = 100,
+) -> int:
+    """Choose the initial communication period τ_0.
+
+    Two modes, mirroring Section 4.2:
+
+    * **grid search** — pass ``trial_losses`` mapping each candidate τ to the
+      training loss reached after a short trial run; the τ with the lowest
+      loss wins (ties go to the smaller τ).
+    * **theory-driven** — pass problem ``constants``, the learning rate, and
+      the interval length T0; Theorem 2's τ* for the first interval is used.
+
+    The result is clipped to ``[1, max_tau]``.
+    """
+    if trial_losses:
+        candidates = sorted(trial_losses)
+        if candidate_taus is not None:
+            missing = set(candidate_taus) - set(candidates)
+            if missing:
+                raise ValueError(f"trial losses missing for candidates {sorted(missing)}")
+            candidates = sorted(candidate_taus)
+        best = min(candidates, key=lambda t: (trial_losses[t], t))
+        return int(min(max(best, 1), max_tau))
+
+    if constants is not None and lr is not None and interval_length is not None:
+        tau_star = optimal_communication_period(constants, lr, interval_length)
+        return int(min(max(1, math.ceil(tau_star)), max_tau))
+
+    raise ValueError(
+        "provide either trial_losses (grid-search mode) or constants+lr+interval_length "
+        "(theory mode) to estimate the initial communication period"
+    )
+
+
+@dataclass
+class AdaCommConfig:
+    """Configuration of the AdaComm controller.
+
+    Attributes
+    ----------
+    initial_tau:
+        τ_0 for the first interval (from grid search or Theorem 2).
+    interval_length:
+        T0, the wall-clock length of each adaptation interval in (simulated)
+        seconds.  The paper uses 60 s (~10 epochs at τ_0) on its testbed.
+    gamma:
+        Multiplicative decay applied when the update rule fails to strictly
+        decrease τ (eq. 18); the paper recommends 1/2.
+    couple_lr:
+        Whether to use the LR-coupled rule (eq. 20) instead of the basic rule.
+    slack:
+        Optional slack ``s`` in the "strictly less than" test of eq. 18.
+    min_tau, max_tau:
+        Clamp range for the adapted period.
+    """
+
+    initial_tau: int = 10
+    interval_length: float = 60.0
+    gamma: float = 0.5
+    couple_lr: bool = True
+    slack: int = 0
+    min_tau: int = 1
+    max_tau: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.initial_tau < 1:
+            raise ValueError("initial_tau must be >= 1")
+        if self.interval_length <= 0:
+            raise ValueError("interval_length must be positive")
+        if not 0.0 < self.gamma < 1.0:
+            raise ValueError("gamma must be in (0, 1)")
+        if self.slack < 0:
+            raise ValueError("slack must be non-negative")
+        if not 1 <= self.min_tau <= self.max_tau:
+            raise ValueError("require 1 <= min_tau <= max_tau")
+        if self.initial_tau > self.max_tau:
+            raise ValueError("initial_tau exceeds max_tau")
+
+
+@dataclass
+class AdaCommController:
+    """Stateful interval-based communication-period adapter (Section 4).
+
+    The trainer drives the controller with two calls:
+
+    * :meth:`current_tau` — the period to use for the next local-update
+      period;
+    * :meth:`observe` — after every averaging step, report the simulated
+      wall-clock time, the training loss of the synchronized model, and the
+      learning rate in force.  When the wall clock crosses an interval
+      boundary the controller recomputes τ using the refined rule.
+    """
+
+    config: AdaCommConfig
+    _tau: int = field(init=False)
+    _initial_loss: float | None = field(default=None, init=False)
+    _initial_lr: float | None = field(default=None, init=False)
+    _next_boundary: float = field(init=False)
+    _interval_index: int = field(default=0, init=False)
+    tau_history: list[tuple[float, int]] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        self._tau = self.config.initial_tau
+        self._next_boundary = self.config.interval_length
+        self.tau_history.append((0.0, self._tau))
+
+    @property
+    def interval_index(self) -> int:
+        """Index l of the current adaptation interval."""
+        return self._interval_index
+
+    def current_tau(self) -> int:
+        """Communication period to use right now."""
+        return self._tau
+
+    def observe(self, wall_time: float, train_loss: float, lr: float) -> int:
+        """Report training progress; returns the (possibly updated) τ.
+
+        The first observation fixes the reference loss F_0 and learning rate
+        η_0 used by the update rules.  Subsequent observations only trigger a
+        recomputation when ``wall_time`` has crossed the next interval
+        boundary; multiple boundaries may be crossed at once if a single
+        period was very long, in which case the rule is applied once with the
+        latest loss (matching an implementation that only wakes up at
+        averaging steps).
+        """
+        if wall_time < 0:
+            raise ValueError("wall_time must be non-negative")
+        if train_loss < 0:
+            raise ValueError("train_loss must be non-negative")
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+
+        if self._initial_loss is None:
+            # Guard against a zero initial loss (already converged): fall back to 1.
+            self._initial_loss = max(train_loss, 1e-12)
+            self._initial_lr = lr
+            return self._tau
+
+        if wall_time < self._next_boundary:
+            return self._tau
+
+        # Crossed one or more interval boundaries: adapt once with the latest loss.
+        while wall_time >= self._next_boundary:
+            self._next_boundary += self.config.interval_length
+            self._interval_index += 1
+
+        cfg = self.config
+        new_tau = refined_tau_update(
+            initial_loss=self._initial_loss,
+            current_loss=max(train_loss, 0.0),
+            initial_tau=cfg.initial_tau,
+            previous_tau=self._tau,
+            gamma=cfg.gamma,
+            initial_lr=self._initial_lr if cfg.couple_lr else None,
+            current_lr=lr if cfg.couple_lr else None,
+            slack=cfg.slack,
+        )
+        self._tau = int(min(max(new_tau, cfg.min_tau), cfg.max_tau))
+        self.tau_history.append((wall_time, self._tau))
+        return self._tau
+
+    def reset(self) -> None:
+        """Return the controller to its initial state."""
+        self._tau = self.config.initial_tau
+        self._initial_loss = None
+        self._initial_lr = None
+        self._next_boundary = self.config.interval_length
+        self._interval_index = 0
+        self.tau_history = [(0.0, self._tau)]

@@ -1,0 +1,136 @@
+"""Communication-period schedules.
+
+A ``CommunicationSchedule`` answers one question for the trainer: *how many
+local steps should the workers take before the next averaging step?*  Three
+implementations cover the paper's experiments:
+
+* :class:`FixedCommunicationSchedule` — the PASGD baselines (τ = 1 is fully
+  synchronous SGD, τ = 100 the extreme-throughput baseline, τ = 5/20 the
+  manually tuned baselines).
+* :class:`SequenceCommunicationSchedule` — an arbitrary pre-specified
+  {τ_0, τ_1, ...} sequence, used by the variable-τ convergence analysis
+  (Theorem 3) tests and by ablations.
+* :class:`AdaCommSchedule` — wraps an :class:`~repro.core.adacomm.AdaCommController`
+  so the period is re-estimated every T0 seconds of simulated time.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.core.adacomm import AdaCommConfig, AdaCommController
+
+__all__ = [
+    "CommunicationSchedule",
+    "FixedCommunicationSchedule",
+    "SequenceCommunicationSchedule",
+    "AdaCommSchedule",
+]
+
+
+class CommunicationSchedule(abc.ABC):
+    """Decides the communication period for each local-update round."""
+
+    @abc.abstractmethod
+    def next_tau(self) -> int:
+        """Communication period to use for the upcoming local-update period."""
+
+    def peek_tau(self) -> int:
+        """Communication period the next call to :meth:`next_tau` would return,
+        without consuming it (only matters for stateful sequence schedules)."""
+        return self.next_tau()
+
+    def observe(self, wall_time: float, train_loss: float, lr: float) -> None:
+        """Report progress after an averaging step (no-op for static schedules)."""
+
+    @property
+    def is_adaptive(self) -> bool:
+        """Whether the schedule reacts to training progress."""
+        return False
+
+    @property
+    @abc.abstractmethod
+    def label(self) -> str:
+        """Short human-readable name used in results and plots."""
+
+
+class FixedCommunicationSchedule(CommunicationSchedule):
+    """Constant communication period τ (τ = 1 is fully synchronous SGD)."""
+
+    def __init__(self, tau: int):
+        if tau < 1:
+            raise ValueError(f"tau must be >= 1, got {tau}")
+        self.tau = int(tau)
+
+    def next_tau(self) -> int:
+        return self.tau
+
+    @property
+    def label(self) -> str:
+        return "sync-sgd" if self.tau == 1 else f"pasgd-tau{self.tau}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FixedCommunicationSchedule(tau={self.tau})"
+
+
+class SequenceCommunicationSchedule(CommunicationSchedule):
+    """Explicit period sequence {τ_0, τ_1, ...}; the last value repeats forever."""
+
+    def __init__(self, taus: Sequence[int]):
+        taus = [int(t) for t in taus]
+        if not taus:
+            raise ValueError("period sequence must be non-empty")
+        if any(t < 1 for t in taus):
+            raise ValueError("all periods must be >= 1")
+        self.taus = taus
+        self._index = 0
+
+    def next_tau(self) -> int:
+        tau = self.taus[min(self._index, len(self.taus) - 1)]
+        self._index += 1
+        return tau
+
+    def peek_tau(self) -> int:
+        return self.taus[min(self._index, len(self.taus) - 1)]
+
+    @property
+    def rounds_emitted(self) -> int:
+        return self._index
+
+    @property
+    def label(self) -> str:
+        return f"sequence-{len(self.taus)}"
+
+    def reset(self) -> None:
+        self._index = 0
+
+
+class AdaCommSchedule(CommunicationSchedule):
+    """ADACOMM: interval-based adaptive communication period (Section 4)."""
+
+    def __init__(self, config: AdaCommConfig | None = None, controller: AdaCommController | None = None):
+        if controller is not None and config is not None:
+            raise ValueError("pass either a config or a ready controller, not both")
+        if controller is None:
+            controller = AdaCommController(config or AdaCommConfig())
+        self.controller = controller
+
+    def next_tau(self) -> int:
+        return self.controller.current_tau()
+
+    def observe(self, wall_time: float, train_loss: float, lr: float) -> None:
+        self.controller.observe(wall_time, train_loss, lr)
+
+    @property
+    def is_adaptive(self) -> bool:
+        return True
+
+    @property
+    def label(self) -> str:
+        return "adacomm"
+
+    @property
+    def tau_history(self) -> list[tuple[float, int]]:
+        """(wall_time, τ) pairs at every adaptation event."""
+        return list(self.controller.tau_history)

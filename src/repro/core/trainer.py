@@ -1,0 +1,260 @@
+"""The PASGD trainer: runs a simulated cluster under a communication schedule.
+
+One ``PASGDTrainer.train()`` call produces a :class:`~repro.utils.results.RunRecord`
+containing the loss/accuracy trajectory of the *synchronized* model against
+both the iteration count and the simulated wall clock — the two x-axes of
+Figure 1.  The trainer is agnostic to which schedule drives it, so the same
+code path produces the fully-synchronous baseline (τ=1), the fixed-τ PASGD
+baselines, and ADACOMM, exactly as in the paper's experiments.
+
+Training loop per round:
+
+1. ask the schedule for τ;
+2. ask the LR schedule for η (given the epoch count and current τ — this is
+   where the "decay τ to 1 before decaying η" gating happens) and push it to
+   all workers;
+3. run τ local steps on every worker (clock advances by the slowest worker);
+4. average the models (clock advances by the communication delay), applying
+   block momentum if configured;
+5. evaluate the synchronized model if an evaluation is due and log a point;
+6. report (wall time, loss, lr) back to the schedule so AdaComm can adapt.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.schedules import CommunicationSchedule
+from repro.distributed.cluster import SimulatedCluster
+from repro.nn.layers import Module
+from repro.nn.losses import accuracy as accuracy_metric
+from repro.optim.lr_schedules import ConstantLR, LRSchedule
+from repro.utils.logging import get_logger
+from repro.utils.results import MetricPoint, RunRecord
+
+__all__ = ["TrainerConfig", "PASGDTrainer"]
+
+logger = get_logger("core.trainer")
+
+
+@dataclass
+class TrainerConfig:
+    """Stopping criteria and evaluation cadence for a training run.
+
+    Attributes
+    ----------
+    max_wall_time:
+        Simulated wall-clock budget in seconds (inf to disable).
+    max_iterations:
+        Budget on total local iterations (inf to disable).  At least one of
+        the two budgets must be finite.
+    eval_every_rounds:
+        Evaluate the synchronized model every this many communication rounds.
+    eval_fraction:
+        Fraction of the evaluation set used per evaluation (subsampling keeps
+        NumPy evaluation cheap for large synthetic datasets).
+    iterations_per_epoch:
+        Used to convert iteration counts to "epochs" for the LR schedule when
+        the cluster has no dataset (e.g. quadratic objectives).  When a
+        dataset is present the cluster's own epoch counter is used instead.
+    record_discrepancy:
+        If True, log the pre-averaging model discrepancy at each evaluation
+        (the quantity bounded in the convergence proof).
+    """
+
+    max_wall_time: float = math.inf
+    max_iterations: float = math.inf
+    eval_every_rounds: int = 1
+    eval_fraction: float = 1.0
+    iterations_per_epoch: int = 100
+    record_discrepancy: bool = False
+
+    def __post_init__(self) -> None:
+        if math.isinf(self.max_wall_time) and math.isinf(self.max_iterations):
+            raise ValueError("at least one of max_wall_time / max_iterations must be finite")
+        if self.max_wall_time <= 0 or self.max_iterations <= 0:
+            raise ValueError("budgets must be positive")
+        if self.eval_every_rounds < 1:
+            raise ValueError("eval_every_rounds must be >= 1")
+        if not 0.0 < self.eval_fraction <= 1.0:
+            raise ValueError("eval_fraction must be in (0, 1]")
+        if self.iterations_per_epoch < 1:
+            raise ValueError("iterations_per_epoch must be >= 1")
+
+
+class PASGDTrainer:
+    """Drives a :class:`SimulatedCluster` under communication and LR schedules.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster (workers, delay model, virtual clock).
+    schedule:
+        Communication-period schedule (fixed τ, sequence, or AdaComm).
+    lr_schedule:
+        Learning-rate schedule; defaults to a constant equal to the cluster's
+        initial learning rate.
+    train_eval_data, test_eval_data:
+        Optional ``(X, y)`` pairs used to evaluate the synchronized model's
+        training loss and test accuracy.  If ``train_eval_data`` is omitted,
+        the mean local batch loss of the last period is logged instead (and
+        for data-free objectives, ``loss_fn`` below is used).
+    loss_fn:
+        Optional override ``model -> float`` computing the training loss of
+        the synchronized model (used by the quadratic-objective experiments
+        where the loss has a closed form).
+    """
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        schedule: CommunicationSchedule,
+        lr_schedule: LRSchedule | None = None,
+        train_eval_data: tuple[np.ndarray, np.ndarray] | None = None,
+        test_eval_data: tuple[np.ndarray, np.ndarray] | None = None,
+        loss_fn: Callable[[Module], float] | None = None,
+        config: TrainerConfig | None = None,
+        name: str | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.cluster = cluster
+        self.schedule = schedule
+        self.lr_schedule = lr_schedule or ConstantLR(cluster.current_lr)
+        self.train_eval_data = train_eval_data
+        self.test_eval_data = test_eval_data
+        self.loss_fn = loss_fn
+        self.config = config or TrainerConfig(max_iterations=1000)
+        self.name = name or schedule.label
+        self._rng = rng or np.random.default_rng(0)
+
+    # -- evaluation helpers -------------------------------------------------
+    def _subsample(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        frac = self.config.eval_fraction
+        if frac >= 1.0 or len(X) <= 1:
+            return X, y
+        n = max(1, int(round(frac * len(X))))
+        idx = self._rng.choice(len(X), size=n, replace=False)
+        return X[idx], y[idx]
+
+    def _eval_train_loss(self, fallback_loss: float) -> float:
+        if self.loss_fn is not None:
+            model = self.cluster.synchronized_model()
+            return float(self.loss_fn(model))
+        if self.train_eval_data is None:
+            return fallback_loss
+        X, y = self._subsample(*self.train_eval_data)
+
+        def metric(model: Module, Xe: np.ndarray, ye: np.ndarray) -> float:
+            was_training = model.training
+            model.eval()
+            try:
+                return float(model.loss(Xe, ye).item())
+            finally:
+                model.train(was_training)
+
+        return self.cluster.evaluate_synchronized(X, y, metric)
+
+    def _eval_test_accuracy(self) -> float:
+        if self.test_eval_data is None:
+            return float("nan")
+        X, y = self._subsample(*self.test_eval_data)
+
+        def metric(model: Module, Xe: np.ndarray, ye: np.ndarray) -> float:
+            was_training = model.training
+            model.eval()
+            try:
+                return accuracy_metric(model(Xe), ye)
+            finally:
+                model.train(was_training)
+
+        return self.cluster.evaluate_synchronized(X, y, metric)
+
+    def _current_epoch(self) -> float:
+        epochs = self.cluster.epochs_completed()
+        if epochs > 0:
+            return epochs
+        return self.cluster.total_local_iterations / self.config.iterations_per_epoch
+
+    # -- main loop -----------------------------------------------------------
+    def train(self) -> RunRecord:
+        """Run until the wall-clock or iteration budget is exhausted."""
+        cfg = self.config
+        record = RunRecord(
+            name=self.name,
+            config={
+                "schedule": self.schedule.label,
+                "n_workers": self.cluster.n_workers,
+                "initial_lr": self.lr_schedule.initial_lr,
+                "max_wall_time": cfg.max_wall_time,
+                "max_iterations": cfg.max_iterations,
+            },
+        )
+
+        # Initial evaluation at t = 0 so every curve starts from the same point.
+        initial_loss = self._eval_train_loss(fallback_loss=float("nan"))
+        initial_acc = self._eval_test_accuracy()
+        record.log(
+            MetricPoint(
+                iteration=0,
+                wall_time=0.0,
+                train_loss=initial_loss if not math.isnan(initial_loss) else float("inf"),
+                test_accuracy=initial_acc,
+                tau=self.schedule.peek_tau(),
+                lr=self.lr_schedule.initial_lr,
+            )
+        )
+        # Seed adaptive schedules with the starting loss.
+        if not math.isnan(initial_loss):
+            self.schedule.observe(0.0, max(initial_loss, 0.0), self.lr_schedule.initial_lr)
+
+        rounds = 0
+        while (
+            self.cluster.clock.now < cfg.max_wall_time
+            and self.cluster.total_local_iterations < cfg.max_iterations
+        ):
+            tau = self.schedule.next_tau()
+            lr = self.lr_schedule.lr_at(self._current_epoch(), tau=tau)
+            self.cluster.set_lr(lr)
+
+            period_loss = self.cluster.run_local_period(tau)
+
+            extra: dict[str, float] = {}
+            if cfg.record_discrepancy:
+                extra["model_discrepancy"] = self.cluster.model_discrepancy()
+
+            self.cluster.average_models()
+            rounds += 1
+
+            if rounds % cfg.eval_every_rounds == 0:
+                train_loss = self._eval_train_loss(fallback_loss=period_loss)
+                test_acc = self._eval_test_accuracy()
+            else:
+                train_loss = period_loss
+                test_acc = float("nan")
+
+            wall_time = self.cluster.clock.now
+            record.log(
+                MetricPoint(
+                    iteration=self.cluster.total_local_iterations,
+                    wall_time=wall_time,
+                    train_loss=train_loss,
+                    test_accuracy=test_acc,
+                    tau=tau,
+                    lr=lr,
+                    extra=extra,
+                )
+            )
+            self.schedule.observe(wall_time, max(train_loss, 0.0), lr)
+
+        logger.debug(
+            "run %s finished: %d rounds, %d iterations, %.2f simulated seconds",
+            self.name,
+            rounds,
+            self.cluster.total_local_iterations,
+            self.cluster.clock.now,
+        )
+        return record

@@ -1,0 +1,32 @@
+"""Data substrate: synthetic datasets, per-worker partitioning, batch loading.
+
+CIFAR-10/100 cannot be downloaded in this offline environment, so the
+experiments use synthetic classification datasets whose difficulty (class
+overlap, label noise, input dimensionality) is controllable.  What matters
+for reproducing the paper's behaviour is the *gradient noise* produced by
+mini-batch sampling over heterogeneous worker shards, which the synthetic
+data exercises in exactly the same way.
+"""
+
+from repro.data.synthetic import (
+    Dataset,
+    make_gaussian_blobs,
+    make_synth_cifar10,
+    make_synth_cifar100,
+    make_spirals,
+    make_linear_regression,
+)
+from repro.data.partition import partition_dataset, PartitionedDataset
+from repro.data.loader import BatchLoader
+
+__all__ = [
+    "Dataset",
+    "make_gaussian_blobs",
+    "make_synth_cifar10",
+    "make_synth_cifar100",
+    "make_spirals",
+    "make_linear_regression",
+    "partition_dataset",
+    "PartitionedDataset",
+    "BatchLoader",
+]

@@ -1,0 +1,101 @@
+"""Partitioning a dataset across workers.
+
+The paper assigns each worker machine a partition of the training set which
+is "randomly shuffled after every epoch".  ``partition_dataset`` supports the
+i.i.d. (random equal shards) case used in the paper as well as a label-skewed
+non-i.i.d. mode useful for federated-learning style extensions, since the
+paper notes its strategy extends directly to Federated Learning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+from repro.utils.seeding import check_random_state
+
+__all__ = ["partition_dataset", "PartitionedDataset"]
+
+
+@dataclass
+class PartitionedDataset:
+    """The full dataset plus per-worker index lists."""
+
+    dataset: Dataset
+    worker_indices: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.worker_indices)
+
+    def shard(self, worker_id: int) -> Dataset:
+        """Materialize worker ``worker_id``'s shard as a Dataset."""
+        if not 0 <= worker_id < self.n_workers:
+            raise IndexError(f"worker_id {worker_id} out of range [0, {self.n_workers})")
+        return self.dataset.subset(self.worker_indices[worker_id])
+
+    def shard_sizes(self) -> list[int]:
+        return [len(idx) for idx in self.worker_indices]
+
+    def reshuffle(self, rng=None) -> "PartitionedDataset":
+        """Fresh i.i.d. repartition with the same number of workers (per-epoch shuffle)."""
+        return partition_dataset(self.dataset, self.n_workers, strategy="iid", rng=rng)
+
+
+def partition_dataset(
+    dataset: Dataset,
+    n_workers: int,
+    strategy: str = "iid",
+    classes_per_worker: int = 2,
+    rng=None,
+) -> PartitionedDataset:
+    """Split ``dataset`` into ``n_workers`` shards.
+
+    Parameters
+    ----------
+    strategy:
+        ``"iid"`` — random equal-size shards (the paper's setting); or
+        ``"label_skew"`` — each worker predominantly sees ``classes_per_worker``
+        classes (federated-style heterogeneity).
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if len(dataset) < n_workers:
+        raise ValueError(f"cannot split {len(dataset)} samples across {n_workers} workers")
+    gen = check_random_state(rng)
+
+    if strategy == "iid":
+        perm = gen.permutation(len(dataset))
+        shards = [np.sort(s) for s in np.array_split(perm, n_workers)]
+        return PartitionedDataset(dataset, shards)
+
+    if strategy == "label_skew":
+        if dataset.n_classes is None:
+            raise ValueError("label_skew partitioning requires a classification dataset")
+        labels = np.asarray(dataset.y, dtype=np.int64)
+        n_classes = dataset.n_classes
+        # Assign each worker a preferred subset of classes (wrapping round-robin),
+        # then deal samples of each class to the workers that prefer it.
+        preferred: list[set[int]] = []
+        for w in range(n_workers):
+            start = (w * classes_per_worker) % n_classes
+            preferred.append({(start + j) % n_classes for j in range(classes_per_worker)})
+        shards: list[list[int]] = [[] for _ in range(n_workers)]
+        for c in range(n_classes):
+            idx_c = np.flatnonzero(labels == c)
+            gen.shuffle(idx_c)
+            takers = [w for w in range(n_workers) if c in preferred[w]] or list(range(n_workers))
+            for i, sample_idx in enumerate(idx_c):
+                shards[takers[i % len(takers)]].append(int(sample_idx))
+        # Guard against empty shards (possible when classes < workers): steal from the largest.
+        for w in range(n_workers):
+            while not shards[w]:
+                donor = max(range(n_workers), key=lambda k: len(shards[k]))
+                if donor == w or len(shards[donor]) <= 1:
+                    raise ValueError("not enough samples to give every worker a non-empty shard")
+                shards[w].append(shards[donor].pop())
+        return PartitionedDataset(dataset, [np.sort(np.array(s, dtype=np.int64)) for s in shards])
+
+    raise ValueError(f"unknown partition strategy {strategy!r}")

@@ -1,0 +1,45 @@
+"""Simulated distributed training substrate.
+
+The paper runs 4–8 GPU nodes connected by 40 Gbps Ethernet; this package
+simulates that cluster in-process.  Each :class:`~repro.distributed.worker.Worker`
+holds its own model replica, data shard, and local optimizer and performs
+local mini-batch SGD steps (eq. 2/3).  The
+:class:`~repro.distributed.cluster.SimulatedCluster` owns the workers, the
+model-averaging collective (eq. 3, ``k mod τ = 0`` branch), and the virtual
+wall clock driven by the runtime simulator (``repro.runtime``), so that every
+training run yields loss-versus-*wall-clock-time* trajectories exactly like
+the paper's figures.
+"""
+
+from repro.distributed.worker import Worker
+from repro.distributed.averaging import average_states, weighted_average_states
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.events import CommunicationEvent, LocalPeriodEvent, EventLog
+from repro.distributed.topology import (
+    complete_mixing_matrix,
+    ring_mixing_matrix,
+    star_mixing_matrix,
+    metropolis_hastings_weights,
+    spectral_gap,
+    mix_states,
+    consensus_distance,
+    rounds_to_consensus,
+)
+
+__all__ = [
+    "Worker",
+    "average_states",
+    "weighted_average_states",
+    "SimulatedCluster",
+    "CommunicationEvent",
+    "LocalPeriodEvent",
+    "EventLog",
+    "complete_mixing_matrix",
+    "ring_mixing_matrix",
+    "star_mixing_matrix",
+    "metropolis_hastings_weights",
+    "spectral_gap",
+    "mix_states",
+    "consensus_distance",
+    "rounds_to_consensus",
+]

@@ -1,0 +1,47 @@
+"""Model-averaging collectives.
+
+PASGD's averaging step (eq. 3, the ``k mod τ = 0`` branch) replaces every
+worker's model with the uniform average of all local models.  The paper notes
+this can be realized either through a fusion/parameter server or an all-node
+broadcast; in the simulation both reduce to the same arithmetic — only the
+communication *delay* differs, and that is captured by the network model in
+``repro.runtime.network``.
+
+``weighted_average_states`` supports non-uniform weights (e.g. shard-size
+weighting under unbalanced partitions, as in FedAvg), an extension the paper
+mentions as directly applicable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["average_states", "weighted_average_states"]
+
+
+def average_states(states: list[np.ndarray]) -> np.ndarray:
+    """Uniform average of flat parameter vectors."""
+    if not states:
+        raise ValueError("need at least one state to average")
+    first_shape = states[0].shape
+    for s in states:
+        if s.shape != first_shape:
+            raise ValueError("all states must have the same shape")
+    return np.mean(np.stack(states, axis=0), axis=0)
+
+
+def weighted_average_states(states: list[np.ndarray], weights: list[float]) -> np.ndarray:
+    """Weighted average of flat parameter vectors; weights are normalized to sum to 1."""
+    if not states:
+        raise ValueError("need at least one state to average")
+    if len(states) != len(weights):
+        raise ValueError(f"{len(states)} states but {len(weights)} weights")
+    w = np.asarray(weights, dtype=float)
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    w = w / total
+    stacked = np.stack(states, axis=0)
+    return np.tensordot(w, stacked, axes=1)

@@ -1,0 +1,251 @@
+"""The simulated cluster: workers + averaging collective + virtual wall clock.
+
+``SimulatedCluster`` implements the PASGD update rule (eq. 3): it asks every
+worker to run τ local SGD steps, advances the virtual clock by the slowest
+worker's compute time (sampled from the runtime model), then performs the
+model-averaging collective and advances the clock by the sampled
+communication delay.  Optionally a :class:`~repro.optim.block_momentum.BlockMomentum`
+instance post-processes the average (Section 5.3.1).
+
+The cluster is deliberately policy-free: *when* to average and with what τ
+and learning rate is decided by the trainer / communication schedule in
+``repro.core``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.data.partition import PartitionedDataset, partition_dataset
+from repro.data.synthetic import Dataset
+from repro.distributed.averaging import average_states
+from repro.distributed.events import CommunicationEvent, EventLog, LocalPeriodEvent
+from repro.distributed.worker import Worker
+from repro.nn.layers import Module
+from repro.optim.block_momentum import BlockMomentum
+from repro.runtime.simulator import RuntimeSimulator
+from repro.utils.seeding import SeedSequence, check_random_state
+from repro.utils.timer import VirtualClock
+
+__all__ = ["SimulatedCluster"]
+
+
+class SimulatedCluster:
+    """m workers training replicas of one model with periodic averaging.
+
+    Parameters
+    ----------
+    model_fn:
+        Zero-argument factory returning a fresh model replica.  All replicas
+        are forced to the same initial parameters (the paper requires all
+        workers to start from the same ``x1``).
+    dataset:
+        Training dataset to shard across workers (or an existing
+        :class:`PartitionedDataset`).  ``None`` is allowed for data-free
+        objectives (e.g. the quadratic problems), in which case every worker
+        gets ``shard=None``.
+    runtime:
+        The delay model driving the virtual wall clock.
+    n_workers:
+        Cluster size m; must match ``runtime.n_workers``.
+    batch_size, lr, momentum, weight_decay:
+        Local-optimizer settings applied to every worker.
+    block_momentum:
+        Optional global block-momentum post-processing of each average.
+    """
+
+    def __init__(
+        self,
+        model_fn: Callable[[], Module],
+        dataset: Dataset | PartitionedDataset | None,
+        runtime: RuntimeSimulator,
+        n_workers: int,
+        batch_size: int = 32,
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        block_momentum: BlockMomentum | None = None,
+        partition_strategy: str = "iid",
+        seed: int = 0,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if runtime.n_workers != n_workers:
+            raise ValueError(
+                f"runtime simulator is configured for {runtime.n_workers} workers, "
+                f"cluster has {n_workers}"
+            )
+        self.n_workers = n_workers
+        self.runtime = runtime
+        self.block_momentum = block_momentum
+        self.clock = VirtualClock()
+        self.events = EventLog()
+        self._seeds = SeedSequence(seed)
+
+        # Shard the data.
+        if dataset is None:
+            self._partition = None
+            shards: list[Dataset | None] = [None] * n_workers
+        elif isinstance(dataset, PartitionedDataset):
+            if dataset.n_workers != n_workers:
+                raise ValueError("partitioned dataset worker count does not match cluster size")
+            self._partition = dataset
+            shards = [dataset.shard(i) for i in range(n_workers)]
+        else:
+            self._partition = partition_dataset(
+                dataset, n_workers, strategy=partition_strategy, rng=self._seeds.generator()
+            )
+            shards = [self._partition.shard(i) for i in range(n_workers)]
+
+        # Build workers with identical initial parameters.
+        self.workers: list[Worker] = []
+        reference_params: np.ndarray | None = None
+        for i in range(n_workers):
+            model = model_fn()
+            worker = Worker(
+                worker_id=i,
+                model=model,
+                shard=shards[i],
+                batch_size=batch_size,
+                lr=lr,
+                momentum=momentum,
+                weight_decay=weight_decay,
+                rng=self._seeds.generator(),
+            )
+            if reference_params is None:
+                reference_params = worker.get_parameters()
+            else:
+                worker.set_parameters(reference_params)
+            self.workers.append(worker)
+
+        self._synchronized_params = reference_params.copy()
+        self.total_local_iterations = 0
+        self.communication_rounds = 0
+        self.current_lr = lr
+
+    # -- core PASGD operations ------------------------------------------------
+    def run_local_period(self, tau: int) -> float:
+        """All workers run τ local steps; the clock advances by the slowest worker.
+
+        Returns the mean local batch loss over the period (across workers and
+        steps), which AdaComm may use as a cheap loss proxy.
+        """
+        if tau < 1:
+            raise ValueError(f"tau must be >= 1, got {tau}")
+        start = self.clock.now
+        losses = [w.local_period(tau) for w in self.workers]
+        timing = self.runtime.sample_local_period(tau)
+        self.clock.advance(timing.compute_time)
+        self.total_local_iterations += tau
+        mean_loss = float(np.mean(losses))
+        self.events.append(
+            LocalPeriodEvent(
+                start_time=start,
+                duration=timing.compute_time,
+                tau=tau,
+                lr=self.current_lr,
+                iteration_end=self.total_local_iterations,
+                mean_local_loss=mean_loss,
+            )
+        )
+        return mean_loss
+
+    def average_models(self) -> np.ndarray:
+        """Average all local models, broadcast the result, advance the clock.
+
+        Applies block momentum if configured, and clears the workers' local
+        momentum buffers afterwards (Section 5.3.1).  Returns the new
+        synchronized flat parameter vector.
+        """
+        start = self.clock.now
+        states = [w.get_parameters() for w in self.workers]
+        averaged = average_states(states)
+        if self.block_momentum is not None:
+            averaged = self.block_momentum.apply(
+                self._synchronized_params, averaged, self.current_lr
+            )
+        for w in self.workers:
+            w.set_parameters(averaged)
+            if self.block_momentum is not None:
+                w.reset_momentum()
+        self._synchronized_params = averaged.copy()
+
+        duration = self.runtime.sample_communication()
+        self.clock.advance(duration)
+        self.communication_rounds += 1
+        self.events.append(
+            CommunicationEvent(start_time=start, duration=duration, round_index=self.communication_rounds)
+        )
+        return averaged
+
+    def run_round(self, tau: int) -> float:
+        """One full PASGD round: τ local steps at each worker, then averaging."""
+        loss = self.run_local_period(tau)
+        self.average_models()
+        return loss
+
+    # -- hyper-parameter control ---------------------------------------------------
+    def set_lr(self, lr: float) -> None:
+        """Set the learning rate on every worker."""
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        for w in self.workers:
+            w.set_lr(lr)
+        self.current_lr = float(lr)
+
+    # -- state access -----------------------------------------------------------------
+    @property
+    def synchronized_parameters(self) -> np.ndarray:
+        """Flat parameters of the most recent synchronized (averaged) model."""
+        return self._synchronized_params.copy()
+
+    def averaged_parameters(self) -> np.ndarray:
+        """Average of the *current* local models, without modifying any worker."""
+        return average_states([w.get_parameters() for w in self.workers])
+
+    def synchronized_model(self) -> Module:
+        """The first worker's model loaded with the synchronized parameters.
+
+        The returned module aliases worker 0's model object; callers should
+        treat it as read-only and must not take local steps while holding it.
+        """
+        model = self.workers[0].model
+        current = self.workers[0].get_parameters()
+        if not np.array_equal(current, self._synchronized_params):
+            # Materialize the synchronized parameters temporarily on worker 0.
+            model.set_flat_parameters(self._synchronized_params)
+        return model
+
+    def evaluate_synchronized(
+        self, X: np.ndarray, y: np.ndarray, metric: Callable[[Module, np.ndarray, np.ndarray], float]
+    ) -> float:
+        """Evaluate a metric of the synchronized model, then restore worker 0's state."""
+        worker0 = self.workers[0]
+        saved = worker0.get_parameters()
+        try:
+            worker0.set_parameters(self._synchronized_params)
+            return metric(worker0.model, X, y)
+        finally:
+            worker0.set_parameters(saved)
+
+    def model_discrepancy(self) -> float:
+        """Mean L2 distance of local models from their average.
+
+        This is the quantity ``‖X_k (I − J)‖`` that the convergence proof
+        bounds; it grows within a local period and collapses to zero at every
+        averaging step.
+        """
+        states = [w.get_parameters() for w in self.workers]
+        avg = average_states(states)
+        return float(np.mean([np.linalg.norm(s - avg) for s in states]))
+
+    def epochs_completed(self) -> float:
+        """Approximate number of passes over the global training set."""
+        if self._partition is None:
+            return 0.0
+        total_samples = len(self._partition.dataset)
+        batch = self.workers[0].loader.batch_size if self.workers[0].loader else 0
+        samples_processed = self.total_local_iterations * batch * self.n_workers
+        return samples_processed / total_samples if total_samples else 0.0

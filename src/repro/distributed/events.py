@@ -1,0 +1,90 @@
+"""Event records emitted by the simulated cluster.
+
+The event log is the raw trace behind every figure: each local-update period
+and each communication round is recorded with its simulated duration, the τ
+and learning rate in force, and the training loss observed.  Benchmarks and
+tests consume the log to compute compute/communication breakdowns (Figure 8)
+and to verify invariants (e.g. the clock advances by exactly the sum of event
+durations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["LocalPeriodEvent", "CommunicationEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class LocalPeriodEvent:
+    """τ local steps performed by all workers in parallel."""
+
+    start_time: float
+    duration: float
+    tau: int
+    lr: float
+    iteration_end: int
+    mean_local_loss: float
+
+
+@dataclass(frozen=True)
+class CommunicationEvent:
+    """One all-node model-averaging round."""
+
+    start_time: float
+    duration: float
+    round_index: int
+
+
+@dataclass
+class EventLog:
+    """Ordered trace of local-period and communication events."""
+
+    events: list[LocalPeriodEvent | CommunicationEvent] = field(default_factory=list)
+
+    def append(self, event: LocalPeriodEvent | CommunicationEvent) -> None:
+        if self.events and event.start_time < self.events[-1].start_time - 1e-12:
+            raise ValueError("events must be appended in chronological order")
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[LocalPeriodEvent | CommunicationEvent]:
+        return iter(self.events)
+
+    @property
+    def local_periods(self) -> list[LocalPeriodEvent]:
+        return [e for e in self.events if isinstance(e, LocalPeriodEvent)]
+
+    @property
+    def communications(self) -> list[CommunicationEvent]:
+        return [e for e in self.events if isinstance(e, CommunicationEvent)]
+
+    def total_compute_time(self) -> float:
+        """Total simulated time spent in local computation."""
+        return sum(e.duration for e in self.local_periods)
+
+    def total_communication_time(self) -> float:
+        """Total simulated time spent in model averaging."""
+        return sum(e.duration for e in self.communications)
+
+    def total_time(self) -> float:
+        return self.total_compute_time() + self.total_communication_time()
+
+    def total_local_iterations(self) -> int:
+        return sum(e.tau for e in self.local_periods)
+
+    def communication_rounds(self) -> int:
+        return len(self.communications)
+
+    def breakdown(self) -> dict[str, float]:
+        """Compute/communication split (the Figure-8 quantity)."""
+        return {
+            "compute_time": self.total_compute_time(),
+            "communication_time": self.total_communication_time(),
+            "total_time": self.total_time(),
+            "local_iterations": float(self.total_local_iterations()),
+            "communication_rounds": float(self.communication_rounds()),
+        }

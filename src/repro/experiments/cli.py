@@ -1,0 +1,89 @@
+"""Command-line entry point: ``python -m repro --config <name>``.
+
+Runs one named experiment (all methods) and prints the paper-style summary:
+loss-vs-wall-clock checkpoints, time-to-target-loss speed-ups, and the best
+test accuracies; optionally saves the full run store to JSON for plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.configs import available_configs, make_config
+from repro.experiments.figures import loss_vs_time_series, summarize_series
+from repro.experiments.harness import run_experiment
+from repro.experiments.tables import accuracy_table, format_table, time_to_loss_table
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce one ADACOMM experiment on the simulated cluster.",
+    )
+    parser.add_argument(
+        "--config",
+        default="vgg_cifar10_fixed_lr",
+        choices=available_configs(),
+        help="named experiment configuration (see repro.experiments.configs)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="multiply the wall-clock budget (e.g. 0.25 for a quick run)")
+    parser.add_argument("--seed", type=int, default=None, help="override the config seed")
+    parser.add_argument("--target-loss", type=float, default=None,
+                        help="training-loss target used for the speed-up table")
+    parser.add_argument("--save", type=str, default=None,
+                        help="path to save the full run store as JSON")
+    parser.add_argument("--points", type=int, default=8,
+                        help="number of loss-curve checkpoints to print per method")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    overrides = {} if args.seed is None else {"seed": args.seed}
+    config = make_config(args.config, scale=args.scale, **overrides)
+    print(f"running experiment {config.name!r}: {config.n_workers} workers, "
+          f"alpha={config.alpha}, budget={config.wall_time_budget:.0f}s, lr={config.lr}")
+
+    store = run_experiment(config)
+
+    for record in store:
+        print(f"\n=== {record.name} ===")
+        for t, loss in summarize_series(loss_vs_time_series(record), n_points=args.points):
+            print(f"  t = {t:8.1f} s   train loss = {loss:.4f}")
+
+    # Pick a default target between the initial loss and the best final loss.
+    if args.target_loss is not None:
+        target = args.target_loss
+    else:
+        start = max(r.points[0].train_loss for r in store if r.points)
+        best = min(r.best_loss() for r in store)
+        target = best + 0.25 * (start - best)
+
+    print()
+    print(format_table(
+        ["method", f"time to loss <= {target:.3g} (s)", "best loss"],
+        time_to_loss_table(store, target_loss=target),
+        title="Time to target training loss",
+    ))
+    print()
+    print(format_table(
+        ["method", "best test accuracy (%)"],
+        accuracy_table(store),
+        title="Best test accuracy within the budget",
+    ))
+    if "adacomm" in store and "sync-sgd" in store:
+        speedup = store.speedup("adacomm", "sync-sgd", target_loss=target)
+        print(f"\nADACOMM speed-up over fully synchronous SGD at loss {target:.3g}: {speedup:.2f}x")
+
+    if args.save:
+        store.save(args.save)
+        print(f"\nsaved run store to {args.save}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Extracting figure data series from run stores.
+
+There is no plotting dependency in this environment, so "figures" are
+produced as data series (lists of (x, y) pairs) plus compact text summaries;
+the benchmark targets print a downsampled view of each series so the shape of
+every paper figure can be inspected directly from the bench output, and the
+full series can be saved to JSON for external plotting.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.results import RunRecord, RunStore
+
+__all__ = ["loss_vs_time_series", "tau_vs_time_series", "comm_comp_breakdown", "summarize_series"]
+
+
+def loss_vs_time_series(record: RunRecord) -> list[tuple[float, float]]:
+    """The (wall_time, train_loss) series behind Figures 9–13."""
+    return [(p.wall_time, p.train_loss) for p in record.points if not math.isinf(p.train_loss)]
+
+
+def tau_vs_time_series(record: RunRecord) -> list[tuple[float, int]]:
+    """The (wall_time, τ) staircase shown in the top panel of each AdaComm figure."""
+    return [(p.wall_time, p.tau) for p in record.points]
+
+
+def comm_comp_breakdown(record: RunRecord) -> dict[str, float]:
+    """Compute vs communication time of a run (the Figure-8 bar chart data)."""
+    breakdown = record.config.get("event_breakdown")
+    if breakdown is None:
+        raise KeyError(f"run {record.name!r} has no event breakdown in its config")
+    return dict(breakdown)
+
+
+def summarize_series(
+    series: list[tuple[float, float]], n_points: int = 10
+) -> list[tuple[float, float]]:
+    """Downsample a series to ~``n_points`` evenly spaced samples for printing."""
+    if n_points < 2:
+        raise ValueError("n_points must be >= 2")
+    if len(series) <= n_points:
+        return list(series)
+    idx = np.linspace(0, len(series) - 1, n_points).round().astype(int)
+    return [series[i] for i in idx]

@@ -1,0 +1,190 @@
+"""Running a full paper-style experiment: several methods on one workload.
+
+``run_experiment(config)`` executes fully synchronous SGD (τ=1), the fixed-τ
+PASGD baselines, and ADACOMM on the same dataset / delay model / learning-rate
+schedule and collects all trajectories into a :class:`RunStore`, from which
+the table/figure formatters extract the numbers the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.adacomm import AdaCommConfig
+from repro.core.schedules import (
+    AdaCommSchedule,
+    CommunicationSchedule,
+    FixedCommunicationSchedule,
+)
+from repro.core.trainer import PASGDTrainer, TrainerConfig
+from repro.data.synthetic import Dataset
+from repro.distributed.cluster import SimulatedCluster
+from repro.experiments.configs import ExperimentConfig
+from repro.models.mlp import MLP
+from repro.optim.block_momentum import BlockMomentum
+from repro.optim.lr_schedules import ConstantLR, LRSchedule, TauGatedStepLR
+from repro.runtime.distributions import ShiftedExponentialDelay, ConstantDelay, DelayDistribution
+from repro.runtime.network import NetworkModel
+from repro.runtime.simulator import RuntimeSimulator
+from repro.utils.logging import get_logger
+from repro.utils.results import RunRecord, RunStore
+from repro.utils.seeding import SeedSequence
+
+__all__ = ["MethodSpec", "default_methods", "run_method", "run_experiment"]
+
+logger = get_logger("experiments.harness")
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One method to run: a label plus a factory for its communication schedule."""
+
+    label: str
+    schedule_fn: Callable[[], CommunicationSchedule]
+
+
+def default_methods(config: ExperimentConfig) -> list[MethodSpec]:
+    """The paper's method lineup: τ=1 baseline, fixed-τ baselines, ADACOMM."""
+    methods = [
+        MethodSpec(
+            label="sync-sgd" if tau == 1 else f"pasgd-tau{tau}",
+            schedule_fn=(lambda t=tau: FixedCommunicationSchedule(t)),
+        )
+        for tau in config.fixed_taus
+    ]
+    methods.append(
+        MethodSpec(
+            label="adacomm",
+            schedule_fn=lambda: AdaCommSchedule(
+                AdaCommConfig(
+                    initial_tau=config.adacomm_initial_tau,
+                    interval_length=config.adacomm_interval,
+                    couple_lr=True,
+                )
+            ),
+        )
+    )
+    return methods
+
+
+def _build_compute_distribution(config: ExperimentConfig) -> DelayDistribution:
+    """Compute-time distribution: shifted exponential with the configured mean."""
+    if config.compute_time_std_fraction <= 0:
+        return ConstantDelay(config.compute_time)
+    scale = config.compute_time * config.compute_time_std_fraction
+    shift = config.compute_time - scale
+    if shift < 0:
+        scale = config.compute_time
+        shift = 0.0
+    return ShiftedExponentialDelay(shift=shift, scale=scale)
+
+
+def _build_lr_schedule(config: ExperimentConfig) -> LRSchedule:
+    if config.variable_lr:
+        return TauGatedStepLR(
+            lr=config.lr, milestones=config.lr_decay_milestones, gamma=config.lr_decay_gamma
+        )
+    return ConstantLR(config.lr)
+
+
+def _split_dataset(config: ExperimentConfig, rng: np.random.Generator) -> tuple[Dataset, Dataset]:
+    dataset = config.build_dataset(rng=rng)
+    test_fraction = config.n_test / (config.n_train + config.n_test)
+    return dataset.split(test_fraction=test_fraction, rng=rng)
+
+
+def run_method(
+    config: ExperimentConfig,
+    method: MethodSpec,
+    train_set: Dataset | None = None,
+    test_set: Dataset | None = None,
+    record_discrepancy: bool = False,
+) -> RunRecord:
+    """Run one method under ``config`` and return its trajectory."""
+    seeds = SeedSequence(config.seed)
+    if train_set is None or test_set is None:
+        train_set, test_set = _split_dataset(config, seeds.generator())
+
+    compute = _build_compute_distribution(config)
+    network = NetworkModel(
+        base_delay=config.communication_delay, scaling=config.network_scaling
+    )
+    runtime = RuntimeSimulator(compute, network, config.n_workers, rng=seeds.generator())
+
+    model_seed = seeds.spawn()
+
+    def model_fn() -> MLP:
+        return MLP(
+            n_features=config.n_features,
+            n_classes=config.n_classes,
+            hidden_sizes=config.hidden_sizes,
+            rng=model_seed,
+        )
+
+    block = BlockMomentum(config.block_momentum_beta) if config.block_momentum_beta > 0 else None
+    cluster = SimulatedCluster(
+        model_fn=model_fn,
+        dataset=train_set,
+        runtime=runtime,
+        n_workers=config.n_workers,
+        batch_size=config.batch_size,
+        lr=config.lr,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+        block_momentum=block,
+        seed=seeds.spawn(),
+    )
+
+    iters_per_epoch = max(1, len(train_set) // (config.batch_size * config.n_workers))
+    trainer = PASGDTrainer(
+        cluster=cluster,
+        schedule=method.schedule_fn(),
+        lr_schedule=_build_lr_schedule(config),
+        train_eval_data=(train_set.X, train_set.y),
+        test_eval_data=(test_set.X, test_set.y),
+        config=TrainerConfig(
+            max_wall_time=config.wall_time_budget,
+            eval_every_rounds=config.eval_every_rounds,
+            iterations_per_epoch=iters_per_epoch,
+            record_discrepancy=record_discrepancy,
+        ),
+        name=method.label,
+        rng=seeds.generator(),
+    )
+    record = trainer.train()
+    record.config.update(
+        {
+            "experiment": config.name,
+            "alpha": config.alpha,
+            "n_workers": config.n_workers,
+            "block_momentum": config.block_momentum_beta,
+            "variable_lr": config.variable_lr,
+        }
+    )
+    record.config["event_breakdown"] = cluster.events.breakdown()
+    return record
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    methods: Sequence[MethodSpec] | None = None,
+    record_discrepancy: bool = False,
+) -> RunStore:
+    """Run all methods on a shared dataset split and collect their records."""
+    seeds = SeedSequence(config.seed)
+    train_set, test_set = _split_dataset(config, seeds.generator())
+    store = RunStore()
+    for method in methods or default_methods(config):
+        logger.info("running %s on %s", method.label, config.name)
+        record = run_method(
+            config,
+            method,
+            train_set=train_set,
+            test_set=test_set,
+            record_discrepancy=record_discrepancy,
+        )
+        store.add(record)
+    return store

@@ -1,0 +1,57 @@
+"""Linear models: softmax (multinomial logistic) regression and linear regression.
+
+These are the cheapest trainable models in the zoo and the default workload
+for the fast benchmark targets: their loss surface is convex, so the
+error-floor behaviour predicted by Theorem 1 is clean and easy to verify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module
+from repro.nn.losses import cross_entropy, mse_loss
+from repro.nn.tensor import Tensor
+
+__all__ = ["SoftmaxRegression", "LinearRegressionModel"]
+
+
+class SoftmaxRegression(Module):
+    """Multinomial logistic regression: a single linear layer + cross-entropy."""
+
+    def __init__(self, n_features: int, n_classes: int, rng=None):
+        super().__init__()
+        self.n_features = n_features
+        self.n_classes = n_classes
+        self.fc = Linear(n_features, n_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.fc(x)
+
+    def loss(self, x, y: np.ndarray) -> Tensor:
+        """Cross-entropy loss of a batch (the trainer's standard interface)."""
+        return cross_entropy(self(x), y)
+
+
+class LinearRegressionModel(Module):
+    """Least-squares linear regression: a single linear layer + MSE."""
+
+    def __init__(self, n_features: int, n_outputs: int = 1, rng=None):
+        super().__init__()
+        self.n_features = n_features
+        self.n_outputs = n_outputs
+        self.fc = Linear(n_features, n_outputs, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.fc(x)
+
+    def loss(self, x, y) -> Tensor:
+        pred = self(x)
+        target = np.asarray(y, dtype=float)
+        if target.ndim == 1:
+            target = target.reshape(-1, 1)
+        return mse_loss(pred, target)

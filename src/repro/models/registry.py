@@ -1,0 +1,50 @@
+"""Named model registry used by the experiment configs and example scripts."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models.cnn import resnet_lite_cnn, vgg_lite_cnn
+from repro.models.linear import LinearRegressionModel, SoftmaxRegression
+from repro.models.mlp import MLP, resnet_lite_mlp, vgg_lite_mlp
+
+__all__ = ["build_model", "available_models", "register_model"]
+
+_BUILDERS: dict[str, Callable] = {}
+
+
+def register_model(name: str, builder: Callable) -> None:
+    """Register a model builder ``(**kwargs) -> Module`` under ``name``."""
+    if name in _BUILDERS:
+        raise KeyError(f"model {name!r} already registered")
+    _BUILDERS[name] = builder
+
+
+def available_models() -> list[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_BUILDERS)
+
+
+def build_model(name: str, **kwargs):
+    """Instantiate a registered model by name.
+
+    Examples
+    --------
+    >>> model = build_model("softmax", n_features=16, n_classes=4, rng=0)
+    >>> model.num_parameters() > 0
+    True
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError as err:
+        raise ValueError(f"unknown model {name!r}; available: {available_models()}") from err
+    return builder(**kwargs)
+
+
+register_model("softmax", lambda **kw: SoftmaxRegression(**kw))
+register_model("linear_regression", lambda **kw: LinearRegressionModel(**kw))
+register_model("mlp", lambda **kw: MLP(**kw))
+register_model("vgg_lite_mlp", lambda **kw: vgg_lite_mlp(**kw))
+register_model("resnet_lite_mlp", lambda **kw: resnet_lite_mlp(**kw))
+register_model("vgg_lite_cnn", lambda **kw: vgg_lite_cnn(**kw))
+register_model("resnet_lite_cnn", lambda **kw: resnet_lite_cnn(**kw))

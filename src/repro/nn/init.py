@@ -1,0 +1,61 @@
+"""Weight initializers.
+
+All initializers take an explicit ``rng`` so that every worker replica in a
+simulated cluster can be initialized identically (the paper requires all
+workers to start from the same point ``x1``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.seeding import check_random_state
+
+__all__ = ["zeros", "uniform", "normal", "xavier_uniform", "kaiming_uniform", "kaiming_normal"]
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros initializer (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def uniform(shape: tuple[int, ...], low: float, high: float, rng=None) -> np.ndarray:
+    gen = check_random_state(rng)
+    return gen.uniform(low, high, size=shape)
+
+
+def normal(shape: tuple[int, ...], std: float, rng=None) -> np.ndarray:
+    gen = check_random_state(rng)
+    return gen.normal(0.0, std, size=shape)
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 2:  # Linear: (in, out)
+        return shape[0], shape[1]
+    if len(shape) == 4:  # Conv: (out_c, in_c, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    n = int(np.prod(shape))
+    return n, n
+
+
+def xavier_uniform(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    a = math.sqrt(6.0 / (fan_in + fan_out))
+    return uniform(shape, -a, a, rng)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    """He/Kaiming uniform for ReLU networks: U(-a, a) with a = sqrt(6 / fan_in)."""
+    fan_in, _ = _fan_in_out(shape)
+    a = math.sqrt(6.0 / fan_in)
+    return uniform(shape, -a, a, rng)
+
+
+def kaiming_normal(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    """He/Kaiming normal for ReLU networks: N(0, sqrt(2 / fan_in))."""
+    fan_in, _ = _fan_in_out(shape)
+    return normal(shape, math.sqrt(2.0 / fan_in), rng)

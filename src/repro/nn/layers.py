@@ -1,0 +1,457 @@
+"""Neural-network layers built on the autograd Tensor.
+
+The ``Module`` base class provides parameter registration and flat
+get/set of the parameter vector, which is what the distributed substrate
+needs for model averaging (PASGD averages the *entire* parameter vector
+across workers, eq. 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn import init as init_mod
+from repro.nn.tensor import Tensor
+from repro.utils.seeding import check_random_state
+
+__all__ = [
+    "Module",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Flatten",
+    "Dropout",
+    "Sequential",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "BatchNorm1d",
+    "Residual",
+]
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses register :class:`Tensor` parameters as attributes; the base
+    class discovers them (recursively through sub-modules) for optimization,
+    averaging, and serialization.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Tensor]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # -- attribute magic -------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- parameter access -------------------------------------------------
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield all trainable parameters, depth-first."""
+        for p in self._parameters.values():
+            yield p
+        for mod in self._modules.values():
+            yield from mod.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for mod_name, mod in self._modules.items():
+            yield from mod.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for mod in self._modules.values():
+            mod.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- flat parameter vector (used by model averaging) --------------------
+    def get_flat_parameters(self) -> np.ndarray:
+        """Concatenate every parameter into one flat float vector (a copy)."""
+        parts = [p.data.ravel() for p in self.parameters()]
+        if not parts:
+            return np.zeros(0)
+        return np.concatenate(parts)
+
+    def set_flat_parameters(self, flat: np.ndarray) -> None:
+        """Load a flat vector produced by :meth:`get_flat_parameters` in place."""
+        flat = np.asarray(flat, dtype=float)
+        expected = self.num_parameters()
+        if flat.size != expected:
+            raise ValueError(f"flat vector has {flat.size} entries, model needs {expected}")
+        offset = 0
+        for p in self.parameters():
+            n = p.size
+            p.data[...] = flat[offset : offset + n].reshape(p.shape)
+            offset += n
+
+    def get_flat_gradients(self) -> np.ndarray:
+        """Concatenate parameter gradients (zeros where a gradient is unset)."""
+        parts = []
+        for p in self.parameters():
+            if p.grad is None:
+                parts.append(np.zeros(p.size))
+            else:
+                parts.append(p.grad.ravel())
+        if not parts:
+            return np.zeros(0)
+        return np.concatenate(parts)
+
+    # -- state dict -----------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, p in own.items():
+            value = np.asarray(state[name])
+            if value.shape != p.shape:
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {p.shape}")
+            p.data[...] = value
+
+    # -- forward ---------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return self.forward(x)
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W + b`` with weight of shape (in, out)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError("in_features and out_features must be positive")
+        gen = check_random_state(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(init_mod.kaiming_uniform((in_features, out_features), gen), requires_grad=True)
+        if bias:
+            self.bias = Tensor(init_mod.zeros((out_features,)), requires_grad=True)
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Flatten(Module):
+    """Flatten all but the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng=None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = check_random_state(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+class Sequential(Module):
+    """Chain of sub-modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._seq: list[Module] = []
+        for i, mod in enumerate(modules):
+            setattr(self, f"layer{i}", mod)
+            self._seq.append(mod)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for mod in self._seq:
+            x = mod(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._seq)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._seq[idx]
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> tuple[np.ndarray, int, int]:
+    """Convert NCHW input patches to columns for convolution as matmul."""
+    n, c, h, w = x.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    shape = (n, c, kh, kw, out_h, out_w)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2],
+        x.strides[3],
+        x.strides[2] * stride,
+        x.strides[3] * stride,
+    )
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = patches.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(cols: np.ndarray, x_shape: tuple[int, ...], kh: int, kw: int, stride: int) -> np.ndarray:
+    """Scatter column gradients back to the NCHW input shape (inverse of im2col)."""
+    n, c, h, w = x_shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    patches = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    dx = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            dx[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += patches[:, :, i, j]
+    return dx
+
+
+class Conv2d(Module):
+    """2-D convolution (NCHW) implemented with im2col + matmul.
+
+    Small by design; intended for the "resnet-lite"/"vgg-lite" models trained
+    on the synthetic CIFAR substitute.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng=None,
+    ):
+        super().__init__()
+        if kernel_size < 1 or stride < 1 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        gen = check_random_state(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Tensor(
+            init_mod.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size), gen),
+            requires_grad=True,
+        )
+        if bias:
+            self.bias = Tensor(init_mod.zeros((out_channels,)), requires_grad=True)
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"Conv2d expects NCHW input, got shape {x.shape}")
+        if self.padding:
+            x = x.pad2d(self.padding)
+
+        kh = kw = self.kernel_size
+        stride = self.stride
+        x_data = x.data
+        n, c, h, w = x_data.shape
+        cols, out_h, out_w = _im2col(x_data, kh, kw, stride)
+        w_mat = self.weight.data.reshape(self.out_channels, -1).T  # (c*kh*kw, out_c)
+        out_cols = cols @ w_mat
+        out_data = out_cols.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        if self.bias is not None:
+            out_data = out_data + self.bias.data.reshape(1, -1, 1, 1)
+
+        weight = self.weight
+        bias = self.bias
+        x_shape = x_data.shape
+        parents = (x, weight) if bias is None else (x, weight, bias)
+
+        def backward(g):
+            # g: (n, out_c, out_h, out_w)
+            g_cols = g.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+            dw = (cols.T @ g_cols).T.reshape(weight.shape)
+            dcols = g_cols @ w_mat.T
+            dx = _col2im(dcols, x_shape, kh, kw, stride)
+            if bias is None:
+                return (dx, dw)
+            db = g.sum(axis=(0, 2, 3))
+            return (dx, dw, db)
+
+        return x._make(out_data, parents, backward)
+
+
+class _Pool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+
+class MaxPool2d(_Pool2d):
+    """Max pooling over non-overlapping (or strided) windows of an NCHW tensor."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        k, s = self.kernel_size, self.stride
+        n, c, h, w = x.shape
+        out_h = (h - k) // s + 1
+        out_w = (w - k) // s + 1
+        x_data = x.data
+        shape = (n, c, out_h, out_w, k, k)
+        strides = (
+            x_data.strides[0],
+            x_data.strides[1],
+            x_data.strides[2] * s,
+            x_data.strides[3] * s,
+            x_data.strides[2],
+            x_data.strides[3],
+        )
+        windows = np.lib.stride_tricks.as_strided(x_data, shape=shape, strides=strides)
+        out_data = windows.max(axis=(4, 5))
+
+        def backward(g):
+            dx = np.zeros_like(x_data)
+            flat = windows.reshape(n, c, out_h, out_w, k * k)
+            argmax = flat.argmax(axis=4)
+            ii, jj = np.unravel_index(argmax, (k, k))
+            ni, ci, oi, oj = np.meshgrid(
+                np.arange(n), np.arange(c), np.arange(out_h), np.arange(out_w), indexing="ij"
+            )
+            np.add.at(dx, (ni, ci, oi * s + ii, oj * s + jj), g)
+            return (dx,)
+
+        return x._make(out_data, (x,), backward)
+
+
+class AvgPool2d(_Pool2d):
+    """Average pooling over windows of an NCHW tensor."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        k, s = self.kernel_size, self.stride
+        n, c, h, w = x.shape
+        out_h = (h - k) // s + 1
+        out_w = (w - k) // s + 1
+        x_data = x.data
+        shape = (n, c, out_h, out_w, k, k)
+        strides = (
+            x_data.strides[0],
+            x_data.strides[1],
+            x_data.strides[2] * s,
+            x_data.strides[3] * s,
+            x_data.strides[2],
+            x_data.strides[3],
+        )
+        windows = np.lib.stride_tricks.as_strided(x_data, shape=shape, strides=strides)
+        out_data = windows.mean(axis=(4, 5))
+
+        def backward(g):
+            dx = np.zeros_like(x_data)
+            scale = 1.0 / (k * k)
+            g_scaled = g * scale
+            for i in range(k):
+                for j in range(k):
+                    dx[:, :, i : i + s * out_h : s, j : j + s * out_w : s] += g_scaled
+            return (dx,)
+
+        return x._make(out_data, (x,), backward)
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over the feature dimension of (N, F) inputs.
+
+    Running statistics are tracked for eval mode.  Note that running stats
+    are *buffers*, not parameters, so PASGD model averaging (which averages
+    the flat parameter vector) averages γ/β but leaves each worker's running
+    stats local — matching common DDP semantics.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Tensor(np.ones(num_features), requires_grad=True)
+        self.bias = Tensor(np.zeros(num_features), requires_grad=True)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            raise ValueError("BatchNorm1d expects (N, F) input")
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=0, keepdims=True)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean.data.ravel()
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var.data.ravel()
+            )
+            x_hat = centered / (var + self.eps).sqrt()
+        else:
+            x_hat = (x - Tensor(self.running_mean)) / Tensor(np.sqrt(self.running_var + self.eps))
+        return x_hat * self.weight + self.bias
+
+
+class Residual(Module):
+    """Residual wrapper: ``y = x + inner(x)`` (the resnet-lite building block)."""
+
+    def __init__(self, inner: Module):
+        super().__init__()
+        self.inner = inner
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x + self.inner(x)

@@ -1,0 +1,58 @@
+"""Loss functions and classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["softmax", "log_softmax", "nll_loss", "cross_entropy", "mse_loss", "accuracy"]
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Negative log-likelihood of integer ``targets`` given row log-probabilities."""
+    targets = np.asarray(targets, dtype=np.int64)
+    if log_probs.ndim != 2:
+        raise ValueError("nll_loss expects (N, C) log-probabilities")
+    if targets.shape != (log_probs.shape[0],):
+        raise ValueError(
+            f"targets shape {targets.shape} does not match batch size {log_probs.shape[0]}"
+        )
+    picked = log_probs.gather_rows(targets)
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy of integer class ``targets`` given raw ``logits``."""
+    return nll_loss(log_softmax(logits), targets)
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error ``mean((pred - target)^2)``."""
+    if not isinstance(target, Tensor):
+        target = Tensor(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def accuracy(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    if scores.ndim != 2:
+        raise ValueError("accuracy expects (N, C) scores")
+    preds = scores.argmax(axis=1)
+    return float((preds == targets).mean())

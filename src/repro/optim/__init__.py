@@ -1,0 +1,31 @@
+"""Optimizers and learning-rate schedules.
+
+``SGD`` covers plain and (local) momentum SGD for each worker's local
+updates; ``BlockMomentum`` implements the global block-momentum scheme of
+Section 5.3.1 (eq. 24–25), applied to the averaged model once per
+communication round; ``lr_schedules`` provides the fixed and step-decay
+schedules of the experiments plus the τ-gated decay ("decay τ to 1 before
+decaying the learning rate") described in Section 4.3.2.
+"""
+
+from repro.optim.sgd import SGD
+from repro.optim.block_momentum import BlockMomentum
+from repro.optim.lr_schedules import (
+    LRSchedule,
+    ConstantLR,
+    StepDecayLR,
+    MultiStepLR,
+    TauGatedStepLR,
+    make_lr_schedule,
+)
+
+__all__ = [
+    "SGD",
+    "BlockMomentum",
+    "LRSchedule",
+    "ConstantLR",
+    "StepDecayLR",
+    "MultiStepLR",
+    "TauGatedStepLR",
+    "make_lr_schedule",
+]

@@ -1,0 +1,102 @@
+"""Stochastic gradient descent with optional momentum and weight decay.
+
+This is the local optimizer each worker applies to its own replica (eq. 2 of
+the paper).  When used inside PASGD with block momentum, the local momentum
+buffers are cleared at every averaging step (``reset_momentum``), as
+described in Section 5.3.1 and done by CNTK's block-momentum implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Mini-batch SGD: ``x ← x - η (g + weight_decay · x)`` with optional momentum.
+
+    Parameters
+    ----------
+    params:
+        Iterable of trainable :class:`Tensor` parameters (or a :class:`Module`).
+    lr:
+        Learning rate η.
+    momentum:
+        Classical (heavy-ball) momentum factor in [0, 1).
+    weight_decay:
+        L2 penalty coefficient added to every gradient.
+    nesterov:
+        Use Nesterov momentum instead of heavy-ball.
+    """
+
+    def __init__(
+        self,
+        params,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        if isinstance(params, Module):
+            params = list(params.parameters())
+        else:
+            params = list(params)
+        if not params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+
+        self.params: list[Tensor] = params
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = nesterov
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+        self.n_steps = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored on the parameters."""
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(p.data)
+                self._velocity[i] = self.momentum * self._velocity[i] + grad
+                if self.nesterov:
+                    grad = grad + self.momentum * self._velocity[i]
+                else:
+                    grad = self._velocity[i]
+            p.data -= self.lr * grad
+        self.n_steps += 1
+
+    def set_lr(self, lr: float) -> None:
+        """Change the learning rate (used by LR schedules and AdaComm coupling)."""
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def reset_momentum(self) -> None:
+        """Clear the momentum buffers.
+
+        The block-momentum scheme restarts local momentum at the beginning of
+        every local-update period (Section 5.3.1).
+        """
+        self._velocity = [None] * len(self.params)

@@ -1,0 +1,78 @@
+"""Runtime substrate: delay distributions, order statistics, and the
+runtime-per-iteration model of Section 3 of the paper.
+
+The paper models the local computation time of worker ``i`` at local step
+``k`` as an i.i.d. random variable ``Y_{i,k} ~ F_Y`` and the communication
+delay of an all-node broadcast as ``D = D0 * s(m)``.  This package provides:
+
+* ``distributions`` — a family of delay distributions (constant,
+  exponential, shifted exponential, uniform, Pareto) with analytic moments.
+* ``order_stats`` — expected maxima ``E[Y_{m:m}]`` of i.i.d. samples and of
+  τ-averaged (Erlang) samples, both analytic (where closed forms exist) and
+  Monte-Carlo.
+* ``network`` — communication scaling functions ``s(m)`` for different
+  topologies (constant, parameter server, reduction tree, ring all-reduce).
+* ``model`` — the expected-runtime expressions (eq. 7–12): ``E[T_sync]``,
+  ``E[T_PAvg]`` and the speed-up of PASGD over fully synchronous SGD.
+* ``simulator`` — samples per-iteration runtimes to drive the virtual wall
+  clock of the simulated cluster.
+"""
+
+from repro.runtime.distributions import (
+    DelayDistribution,
+    ConstantDelay,
+    ExponentialDelay,
+    ShiftedExponentialDelay,
+    UniformDelay,
+    ParetoDelay,
+    make_distribution,
+)
+from repro.runtime.network import (
+    NetworkModel,
+    constant_scaling,
+    parameter_server_scaling,
+    reduction_tree_scaling,
+    ring_allreduce_scaling,
+    make_scaling,
+)
+from repro.runtime.order_stats import (
+    expected_max_iid,
+    expected_max_exponential,
+    expected_max_averaged,
+    empirical_max_distribution,
+)
+from repro.runtime.model import (
+    RuntimeModel,
+    expected_runtime_sync,
+    expected_runtime_pasgd,
+    speedup_constant_delays,
+    speedup_over_sync,
+)
+from repro.runtime.simulator import RuntimeSimulator, IterationTiming
+
+__all__ = [
+    "DelayDistribution",
+    "ConstantDelay",
+    "ExponentialDelay",
+    "ShiftedExponentialDelay",
+    "UniformDelay",
+    "ParetoDelay",
+    "make_distribution",
+    "NetworkModel",
+    "constant_scaling",
+    "parameter_server_scaling",
+    "reduction_tree_scaling",
+    "ring_allreduce_scaling",
+    "make_scaling",
+    "expected_max_iid",
+    "expected_max_exponential",
+    "expected_max_averaged",
+    "empirical_max_distribution",
+    "RuntimeModel",
+    "expected_runtime_sync",
+    "expected_runtime_pasgd",
+    "speedup_constant_delays",
+    "speedup_over_sync",
+    "RuntimeSimulator",
+    "IterationTiming",
+]

@@ -1,0 +1,141 @@
+"""Communication-delay scaling with the number of workers.
+
+The paper models the all-node broadcast delay as ``D = D0 * s(m)`` (eq. 5),
+where ``D0`` is the cost of a single inter-node transfer and ``s(m)`` captures
+how the collective scales with ``m`` workers.  The choice of ``s`` depends on
+the implementation: a naive parameter server is linear in ``m``, a reduction
+tree scales as ``2 log2(m)`` (the example given in the paper, citing
+FireCaffe), and a bandwidth-optimal ring all-reduce is ``2 (m-1)/m`` — nearly
+constant.
+
+``NetworkModel`` bundles ``D0``, the scaling function, and an optional jitter
+distribution into a single object the simulator can sample from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.runtime.distributions import ConstantDelay, DelayDistribution
+from repro.utils.seeding import check_random_state
+
+__all__ = [
+    "constant_scaling",
+    "parameter_server_scaling",
+    "reduction_tree_scaling",
+    "ring_allreduce_scaling",
+    "make_scaling",
+    "NetworkModel",
+]
+
+
+def constant_scaling(m: int) -> float:
+    """``s(m) = 1``: broadcast cost independent of cluster size."""
+    _validate_m(m)
+    return 1.0
+
+
+def parameter_server_scaling(m: int) -> float:
+    """``s(m) = m``: every worker pushes/pulls through one central server link."""
+    _validate_m(m)
+    return float(m)
+
+
+def reduction_tree_scaling(m: int) -> float:
+    """``s(m) = 2 log2(m)`` (with s(1)=1): the FireCaffe-style reduction tree
+    the paper cites as the parameter-server example."""
+    _validate_m(m)
+    if m == 1:
+        return 1.0
+    return 2.0 * math.log2(m)
+
+
+def ring_allreduce_scaling(m: int) -> float:
+    """``s(m) = 2 (m-1)/m``: bandwidth-optimal ring all-reduce."""
+    _validate_m(m)
+    if m == 1:
+        return 1.0
+    return 2.0 * (m - 1) / m
+
+
+def _validate_m(m: int) -> None:
+    if not isinstance(m, (int, np.integer)) or m < 1:
+        raise ValueError(f"number of workers m must be a positive integer, got {m!r}")
+
+
+_SCALINGS: dict[str, Callable[[int], float]] = {
+    "constant": constant_scaling,
+    "parameter_server": parameter_server_scaling,
+    "reduction_tree": reduction_tree_scaling,
+    "ring_allreduce": ring_allreduce_scaling,
+}
+
+
+def make_scaling(name: str) -> Callable[[int], float]:
+    """Look up a scaling function ``s(m)`` by name."""
+    try:
+        return _SCALINGS[name]
+    except KeyError as err:
+        raise ValueError(f"unknown scaling {name!r}; available: {sorted(_SCALINGS)}") from err
+
+
+@dataclass
+class NetworkModel:
+    """Communication-delay model ``D = D0 * s(m) + jitter``.
+
+    Parameters
+    ----------
+    base_delay:
+        ``D0``, the per-transfer delay in seconds.  Proportional to model
+        size / bandwidth in a real deployment.
+    scaling:
+        Either the name of a registered scaling or a callable ``m -> s(m)``.
+    jitter:
+        Optional additive random jitter on every communication round.
+    """
+
+    base_delay: float
+    scaling: str | Callable[[int], float] = "reduction_tree"
+    jitter: DelayDistribution = field(default_factory=lambda: ConstantDelay(0.0))
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be non-negative, got {self.base_delay}")
+        if isinstance(self.scaling, str):
+            self._scaling_fn = make_scaling(self.scaling)
+            self._scaling_name = self.scaling
+        elif callable(self.scaling):
+            self._scaling_fn = self.scaling
+            self._scaling_name = getattr(self.scaling, "__name__", "custom")
+        else:
+            raise TypeError("scaling must be a name or a callable m -> s(m)")
+
+    def mean_delay(self, m: int) -> float:
+        """Expected all-node broadcast delay ``E[D]`` for ``m`` workers."""
+        return self.base_delay * self._scaling_fn(m) + self.jitter.mean
+
+    def sample_delay(
+        self, m: int, rng: np.random.Generator | int | None = None, size: int | None = None
+    ) -> float | np.ndarray:
+        """Sample the broadcast delay for one (or ``size``) communication rounds."""
+        gen = check_random_state(rng)
+        deterministic = self.base_delay * self._scaling_fn(m)
+        if size is None:
+            return deterministic + self.jitter.sample_one(gen)
+        return deterministic + self.jitter.sample(size, gen)
+
+    def communication_computation_ratio(self, m: int, compute: DelayDistribution) -> float:
+        """The paper's α = E[D] / E[Y] for a given compute-time distribution."""
+        if compute.mean <= 0:
+            raise ValueError("compute-time mean must be positive to form the ratio")
+        return self.mean_delay(m) / compute.mean
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetworkModel(base_delay={self.base_delay}, scaling={self._scaling_name!r}, "
+            f"jitter={self.jitter!r})"
+        )

@@ -1,0 +1,18 @@
+"""Shared utilities: seeding, structured results, logging, and timing."""
+
+from repro.utils.seeding import SeedSequence, check_random_state, set_global_seed
+from repro.utils.results import MetricPoint, RunRecord, RunStore
+from repro.utils.timer import Stopwatch, VirtualClock
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "SeedSequence",
+    "check_random_state",
+    "set_global_seed",
+    "MetricPoint",
+    "RunRecord",
+    "RunStore",
+    "Stopwatch",
+    "VirtualClock",
+    "get_logger",
+]

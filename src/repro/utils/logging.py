@@ -1,0 +1,35 @@
+"""Thin logging wrapper so all library components share one configuration."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "configure_logging"]
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def configure_logging(level: int = logging.INFO, stream=None) -> None:
+    """Install a single stream handler on the library's root logger.
+
+    Safe to call multiple times; only the first call installs a handler.
+    """
+    global _configured
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(level)
+    if not _configured:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(asctime)s] %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+        )
+        logger.addHandler(handler)
+        _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger under the library root namespace."""
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

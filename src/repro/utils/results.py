@@ -1,0 +1,235 @@
+"""Structured experiment results.
+
+Every training run in the library produces a :class:`RunRecord`: a named
+sequence of :class:`MetricPoint` samples indexed by iteration count *and* by
+(simulated) wall-clock time, mirroring the paper's insistence on looking at
+both x-axes.  :class:`RunStore` collects records from a sweep and provides
+the queries the evaluation section needs ("time to reach loss X", "best test
+accuracy within a time budget").
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, asdict
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+__all__ = ["MetricPoint", "RunRecord", "RunStore"]
+
+
+@dataclass(frozen=True)
+class MetricPoint:
+    """One logged sample of training state.
+
+    Attributes
+    ----------
+    iteration:
+        Number of local iterations completed so far (the paper's ``k``).
+    wall_time:
+        Simulated wall-clock time in seconds at which the sample was taken.
+    train_loss:
+        Training loss of the synchronized (averaged) model.
+    test_accuracy:
+        Test accuracy of the synchronized model, or ``nan`` if not evaluated.
+    tau:
+        Communication period in force when the sample was taken.
+    lr:
+        Learning rate in force when the sample was taken.
+    extra:
+        Free-form additional scalars (e.g. local-model accuracy).
+    """
+
+    iteration: int
+    wall_time: float
+    train_loss: float
+    test_accuracy: float = float("nan")
+    tau: int = 1
+    lr: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class RunRecord:
+    """A complete training run: configuration plus its metric trajectory."""
+
+    name: str
+    config: dict[str, Any] = field(default_factory=dict)
+    points: list[MetricPoint] = field(default_factory=list)
+
+    def log(self, point: MetricPoint) -> None:
+        """Append a metric point, enforcing monotone iteration/wall-time order."""
+        if self.points:
+            last = self.points[-1]
+            if point.iteration < last.iteration:
+                raise ValueError(
+                    f"iterations must be non-decreasing: {point.iteration} < {last.iteration}"
+                )
+            if point.wall_time < last.wall_time - 1e-12:
+                raise ValueError(
+                    f"wall_time must be non-decreasing: {point.wall_time} < {last.wall_time}"
+                )
+        self.points.append(point)
+
+    # -- column accessors -------------------------------------------------
+    @property
+    def iterations(self) -> list[int]:
+        return [p.iteration for p in self.points]
+
+    @property
+    def wall_times(self) -> list[float]:
+        return [p.wall_time for p in self.points]
+
+    @property
+    def train_losses(self) -> list[float]:
+        return [p.train_loss for p in self.points]
+
+    @property
+    def test_accuracies(self) -> list[float]:
+        return [p.test_accuracy for p in self.points]
+
+    @property
+    def taus(self) -> list[int]:
+        return [p.tau for p in self.points]
+
+    # -- queries -----------------------------------------------------------
+    def final_loss(self) -> float:
+        """Training loss at the last logged point."""
+        if not self.points:
+            raise ValueError("run has no logged points")
+        return self.points[-1].train_loss
+
+    def best_loss(self) -> float:
+        """Minimum training loss over the run."""
+        if not self.points:
+            raise ValueError("run has no logged points")
+        return min(p.train_loss for p in self.points)
+
+    def best_accuracy(self, time_budget: float | None = None) -> float:
+        """Best test accuracy, optionally restricted to ``wall_time <= time_budget``."""
+        accs = [
+            p.test_accuracy
+            for p in self.points
+            if not math.isnan(p.test_accuracy)
+            and (time_budget is None or p.wall_time <= time_budget)
+        ]
+        if not accs:
+            return float("nan")
+        return max(accs)
+
+    def time_to_loss(self, target_loss: float) -> float:
+        """First simulated wall-clock time at which ``train_loss <= target_loss``.
+
+        Returns ``inf`` if the run never reaches the target.  This is the
+        quantity behind every "X× less time" claim in the paper.
+        """
+        for p in self.points:
+            if p.train_loss <= target_loss:
+                return p.wall_time
+        return float("inf")
+
+    def iterations_to_loss(self, target_loss: float) -> float:
+        """First iteration count at which ``train_loss <= target_loss`` (inf if never)."""
+        for p in self.points:
+            if p.train_loss <= target_loss:
+                return float(p.iteration)
+        return float("inf")
+
+    def loss_at_time(self, t: float) -> float:
+        """Training loss of the last point logged at or before simulated time ``t``."""
+        best = float("nan")
+        for p in self.points:
+            if p.wall_time <= t:
+                best = p.train_loss
+            else:
+                break
+        return best
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "config": self.config,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunRecord":
+        rec = cls(name=data["name"], config=dict(data.get("config", {})))
+        for pd in data.get("points", []):
+            extra = dict(pd.get("extra", {}))
+            rec.points.append(
+                MetricPoint(
+                    iteration=int(pd["iteration"]),
+                    wall_time=float(pd["wall_time"]),
+                    train_loss=float(pd["train_loss"]),
+                    test_accuracy=float(pd.get("test_accuracy", float("nan"))),
+                    tau=int(pd.get("tau", 1)),
+                    lr=float(pd.get("lr", 0.0)),
+                    extra=extra,
+                )
+            )
+        return rec
+
+
+class RunStore:
+    """An in-memory (and optionally on-disk) collection of :class:`RunRecord`."""
+
+    def __init__(self) -> None:
+        self._runs: dict[str, RunRecord] = {}
+
+    def add(self, record: RunRecord) -> None:
+        if record.name in self._runs:
+            raise KeyError(f"run {record.name!r} already stored")
+        self._runs[record.name] = record
+
+    def get(self, name: str) -> RunRecord:
+        return self._runs[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._runs
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self._runs.values())
+
+    def names(self) -> list[str]:
+        return list(self._runs)
+
+    def speedup(self, fast: str, slow: str, target_loss: float) -> float:
+        """Wall-clock speedup of run ``fast`` over run ``slow`` at a target loss.
+
+        Mirrors the paper's headline metric, e.g. "ADACOMM takes 3x less time
+        than fully synchronous SGD to reach the same training loss".
+        Returns ``nan`` if either run never reaches the target.
+        """
+        t_fast = self._runs[fast].time_to_loss(target_loss)
+        t_slow = self._runs[slow].time_to_loss(target_loss)
+        if not (math.isfinite(t_fast) and math.isfinite(t_slow)) or t_fast <= 0:
+            return float("nan")
+        return t_slow / t_fast
+
+    def save(self, path: str | Path) -> None:
+        """Serialize the whole store to a JSON file."""
+        payload = {"runs": [r.to_dict() for r in self._runs.values()]}
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunStore":
+        store = cls()
+        payload = json.loads(Path(path).read_text())
+        for rd in payload.get("runs", []):
+            store.add(RunRecord.from_dict(rd))
+        return store
+
+    @classmethod
+    def from_records(cls, records: Iterable[RunRecord]) -> "RunStore":
+        store = cls()
+        for r in records:
+            store.add(r)
+        return store

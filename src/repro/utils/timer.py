@@ -1,0 +1,88 @@
+"""Wall-clock accounting: real stopwatches and the simulated virtual clock.
+
+The paper's central object of study is *error versus wall-clock time*.  In
+this reproduction the wall clock of the simulated cluster is a
+:class:`VirtualClock` advanced by the delay model (``repro.runtime``): each
+local gradient step advances it by a sampled compute time, each averaging
+step by a sampled communication delay.  ``Stopwatch`` measures real process
+time for the harness itself (used by the pytest-benchmark targets).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "VirtualClock"]
+
+
+@dataclass
+class Stopwatch:
+    """Simple cumulative real-time stopwatch based on ``perf_counter``."""
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, init=False)
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class VirtualClock:
+    """Monotone simulated wall clock measured in seconds.
+
+    The clock only moves forward; ``advance`` rejects negative increments so
+    that a buggy delay distribution cannot silently rewind time.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError(f"start time must be non-negative, got {start}")
+        self._now = float(start)
+        self._n_advances = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def n_advances(self) -> int:
+        """Number of times the clock has been advanced."""
+        return self._n_advances
+
+    def advance(self, dt: float) -> float:
+        """Move the clock forward by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative duration {dt}")
+        self._now += float(dt)
+        self._n_advances += 1
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"start time must be non-negative, got {start}")
+        self._now = float(start)
+        self._n_advances = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.4f}, advances={self._n_advances})"

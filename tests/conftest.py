@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_gaussian_blobs
+from repro.models.mlp import MLP
+from repro.runtime.distributions import ConstantDelay, ExponentialDelay
+from repro.runtime.network import NetworkModel
+from repro.runtime.simulator import RuntimeSimulator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """Small, well-separated 3-class dataset (fast and learnable)."""
+    return make_gaussian_blobs(
+        n_samples=180, n_features=8, n_classes=3, class_sep=2.5, noise_std=0.6, rng=0
+    )
+
+
+@pytest.fixture
+def tiny_model_fn():
+    """Factory building a small MLP with a fixed seed (identical replicas)."""
+
+    def factory():
+        return MLP(n_features=8, n_classes=3, hidden_sizes=(12,), rng=42)
+
+    return factory
+
+
+@pytest.fixture
+def constant_runtime():
+    """Deterministic runtime simulator: Y = 1, D = 2, m = 4."""
+    return RuntimeSimulator(
+        compute=ConstantDelay(1.0),
+        network=NetworkModel(base_delay=2.0, scaling="constant"),
+        n_workers=4,
+        rng=0,
+    )
+
+
+@pytest.fixture
+def stochastic_runtime():
+    """Exponential compute times (straggler regime): Y ~ Exp(1), D = 1, m = 4."""
+    return RuntimeSimulator(
+        compute=ExponentialDelay(1.0),
+        network=NetworkModel(base_delay=1.0, scaling="constant"),
+        n_workers=4,
+        rng=1,
+    )

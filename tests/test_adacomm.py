@@ -1,0 +1,272 @@
+"""Tests for the ADACOMM update rules and controller (repro.core.adacomm)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adacomm import (
+    AdaCommConfig,
+    AdaCommController,
+    basic_tau_update,
+    estimate_initial_tau,
+    lr_coupled_tau_update,
+    refined_tau_update,
+)
+from repro.core.theory import TheoreticalConstants
+
+
+class TestBasicRule:
+    def test_eq17_value(self):
+        # τ_l = ceil( sqrt(F_l / F_0) τ_0 )
+        assert basic_tau_update(initial_loss=4.0, current_loss=1.0, initial_tau=10) == 5
+        assert basic_tau_update(initial_loss=2.0, current_loss=2.0, initial_tau=7) == 7
+
+    def test_rounds_up(self):
+        assert basic_tau_update(3.0, 1.0, 10) == math.ceil(10 / math.sqrt(3))
+
+    def test_never_below_one(self):
+        assert basic_tau_update(100.0, 1e-9, 10) == 1
+
+    def test_loss_increase_can_increase_tau(self):
+        assert basic_tau_update(1.0, 4.0, 10) == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            basic_tau_update(0.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            basic_tau_update(1.0, -1.0, 10)
+        with pytest.raises(ValueError):
+            basic_tau_update(1.0, 1.0, 0)
+
+
+class TestLRCoupledRule:
+    def test_eq20_value(self):
+        # τ_l = ceil( sqrt( (η0/ηl) Fl/F0 ) τ0 ): smaller lr → larger τ.
+        assert lr_coupled_tau_update(1.0, 1.0, 10, initial_lr=0.1, current_lr=0.1) == 10
+        assert lr_coupled_tau_update(1.0, 1.0, 10, initial_lr=0.1, current_lr=0.025) == 20
+
+    def test_combined_loss_and_lr_effect(self):
+        # loss ratio 1/4 (→ ×1/2) and lr ratio 4 (→ ×2) cancel out.
+        assert lr_coupled_tau_update(4.0, 1.0, 10, initial_lr=0.4, current_lr=0.1) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lr_coupled_tau_update(1.0, 1.0, 10, initial_lr=0.0, current_lr=0.1)
+
+
+class TestRefinedRule:
+    def test_uses_basic_rule_when_strictly_decreasing(self):
+        # candidate 5 < previous 8 → take the candidate.
+        assert refined_tau_update(4.0, 1.0, initial_tau=10, previous_tau=8) == 5
+
+    def test_decays_multiplicatively_when_stalled(self):
+        # candidate equals previous → γ-decay instead (eq. 18).
+        assert refined_tau_update(1.0, 1.0, initial_tau=10, previous_tau=10, gamma=0.5) == 5
+
+    def test_decay_when_candidate_larger(self):
+        assert refined_tau_update(1.0, 4.0, initial_tau=10, previous_tau=12, gamma=0.5) == 6
+
+    def test_gamma_controls_decay(self):
+        assert refined_tau_update(1.0, 1.0, 10, previous_tau=9, gamma=0.25) == 2
+
+    def test_never_below_one(self):
+        assert refined_tau_update(1.0, 1.0, 10, previous_tau=1, gamma=0.5) == 1
+
+    def test_slack_makes_condition_stricter(self):
+        # basic candidate = ceil(sqrt(1/2)·10) = 8.
+        # Against previous_tau=8 it is not strictly smaller → γ decay.
+        assert refined_tau_update(2.0, 1.0, 10, previous_tau=8, gamma=0.5) == 4
+        # Against previous_tau=9 it passes without slack but not with slack 1.
+        assert refined_tau_update(2.0, 1.0, 10, previous_tau=9, slack=0) == 8
+        assert refined_tau_update(2.0, 1.0, 10, previous_tau=9, slack=1, gamma=0.5) == 4
+
+    def test_lr_coupling_passthrough(self):
+        out = refined_tau_update(
+            1.0, 1.0, 10, previous_tau=30, initial_lr=0.4, current_lr=0.1
+        )
+        assert out == 20  # LR-coupled candidate 20 < 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            refined_tau_update(1.0, 1.0, 10, previous_tau=0)
+        with pytest.raises(ValueError):
+            refined_tau_update(1.0, 1.0, 10, previous_tau=5, gamma=1.0)
+        with pytest.raises(ValueError):
+            refined_tau_update(1.0, 1.0, 10, previous_tau=5, slack=-1)
+
+
+class TestEstimateInitialTau:
+    def test_grid_search_picks_lowest_loss(self):
+        losses = {1: 0.9, 10: 0.5, 50: 0.7}
+        assert estimate_initial_tau(trial_losses=losses) == 10
+
+    def test_grid_search_tie_prefers_smaller_tau(self):
+        losses = {5: 0.5, 20: 0.5}
+        assert estimate_initial_tau(trial_losses=losses) == 5
+
+    def test_grid_search_with_candidate_filter(self):
+        losses = {1: 0.9, 10: 0.5, 50: 0.2}
+        assert estimate_initial_tau(candidate_taus=[1, 10], trial_losses=losses) == 10
+
+    def test_grid_search_missing_candidate_raises(self):
+        with pytest.raises(ValueError):
+            estimate_initial_tau(candidate_taus=[1, 99], trial_losses={1: 0.5})
+
+    def test_theory_mode_uses_theorem2(self):
+        constants = TheoreticalConstants(1.0, 1.0, 1.0, 8, 1.0, 1.0)
+        tau = estimate_initial_tau(constants=constants, lr=0.05, interval_length=60.0)
+        assert tau == math.ceil(math.sqrt(2 * 1.0 / (0.05**3 * 60.0)))
+
+    def test_theory_mode_clipped_to_max(self):
+        constants = TheoreticalConstants(10.0, 1.0, 0.1, 8, 1.0, 10.0)
+        assert estimate_initial_tau(constants=constants, lr=0.01, interval_length=1.0, max_tau=50) == 50
+
+    def test_no_inputs_raises(self):
+        with pytest.raises(ValueError):
+            estimate_initial_tau()
+
+
+class TestAdaCommConfig:
+    def test_defaults_valid(self):
+        cfg = AdaCommConfig()
+        assert cfg.initial_tau >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaCommConfig(initial_tau=0)
+        with pytest.raises(ValueError):
+            AdaCommConfig(interval_length=0)
+        with pytest.raises(ValueError):
+            AdaCommConfig(gamma=1.5)
+        with pytest.raises(ValueError):
+            AdaCommConfig(min_tau=5, max_tau=2)
+        with pytest.raises(ValueError):
+            AdaCommConfig(initial_tau=200, max_tau=100)
+
+
+class TestAdaCommController:
+    def test_starts_at_initial_tau(self):
+        ctrl = AdaCommController(AdaCommConfig(initial_tau=16, interval_length=10.0))
+        assert ctrl.current_tau() == 16
+
+    def test_no_adaptation_before_first_boundary(self):
+        ctrl = AdaCommController(AdaCommConfig(initial_tau=16, interval_length=10.0))
+        ctrl.observe(0.0, 4.0, lr=0.1)  # sets the reference loss
+        assert ctrl.observe(5.0, 1.0, lr=0.1) == 16
+
+    def test_adapts_at_boundary_with_basic_rule(self):
+        ctrl = AdaCommController(
+            AdaCommConfig(initial_tau=16, interval_length=10.0, couple_lr=False)
+        )
+        ctrl.observe(0.0, 4.0, lr=0.1)
+        new_tau = ctrl.observe(10.0, 1.0, lr=0.1)  # sqrt(1/4)·16 = 8
+        assert new_tau == 8
+        assert ctrl.interval_index == 1
+
+    def test_gamma_decay_on_plateau(self):
+        ctrl = AdaCommController(
+            AdaCommConfig(initial_tau=16, interval_length=10.0, couple_lr=False, gamma=0.5)
+        )
+        ctrl.observe(0.0, 4.0, lr=0.1)
+        assert ctrl.observe(10.0, 4.0, lr=0.1) == 8  # no loss progress → γ decay
+        assert ctrl.observe(20.0, 4.0, lr=0.1) == 4
+
+    def test_tau_sequence_decreases_as_loss_decreases(self):
+        ctrl = AdaCommController(
+            AdaCommConfig(initial_tau=20, interval_length=10.0, couple_lr=False)
+        )
+        losses = [8.0, 4.0, 2.0, 1.0, 0.5, 0.25]
+        ctrl.observe(0.0, losses[0], lr=0.1)
+        taus = [ctrl.observe(10.0 * (i + 1), loss, lr=0.1) for i, loss in enumerate(losses[1:])]
+        assert all(b <= a for a, b in zip(taus, taus[1:]))
+        assert taus[-1] < 20
+
+    def test_lr_coupling_raises_tau_when_lr_drops(self):
+        ctrl = AdaCommController(
+            AdaCommConfig(initial_tau=10, interval_length=10.0, couple_lr=True, max_tau=100)
+        )
+        ctrl.observe(0.0, 1.0, lr=0.4)
+        # Same loss but lr dropped 16×: candidate = ceil(sqrt(16)·10) = 40 > previous 10 → γ decay path
+        # is NOT taken because candidate must be strictly smaller; the rule decays instead.
+        tau = ctrl.observe(10.0, 1.0, lr=0.025)
+        assert tau == 5  # γ-decay of previous 10, since candidate (40) is not < 10
+
+    def test_multiple_boundaries_crossed_adapts_once(self):
+        ctrl = AdaCommController(
+            AdaCommConfig(initial_tau=16, interval_length=10.0, couple_lr=False)
+        )
+        ctrl.observe(0.0, 4.0, lr=0.1)
+        tau = ctrl.observe(35.0, 1.0, lr=0.1)
+        assert tau == 8
+        assert ctrl.interval_index == 3  # boundaries at 10, 20, 30 were all crossed
+
+    def test_clamping_to_bounds(self):
+        ctrl = AdaCommController(
+            AdaCommConfig(initial_tau=4, interval_length=10.0, couple_lr=False, min_tau=2, max_tau=50)
+        )
+        ctrl.observe(0.0, 1.0, lr=0.1)
+        for i in range(10):
+            tau = ctrl.observe(10.0 * (i + 1), 1e-8, lr=0.1)
+        assert tau == 2
+
+    def test_tau_history_records_adaptations(self):
+        ctrl = AdaCommController(AdaCommConfig(initial_tau=8, interval_length=5.0, couple_lr=False))
+        ctrl.observe(0.0, 2.0, lr=0.1)
+        ctrl.observe(5.0, 1.0, lr=0.1)
+        ctrl.observe(10.0, 0.5, lr=0.1)
+        assert len(ctrl.tau_history) == 3  # initial + two adaptations
+        times = [t for t, _ in ctrl.tau_history]
+        assert times == sorted(times)
+
+    def test_reset(self):
+        ctrl = AdaCommController(AdaCommConfig(initial_tau=8, interval_length=5.0))
+        ctrl.observe(0.0, 2.0, lr=0.1)
+        ctrl.observe(5.0, 1.0, lr=0.1)
+        ctrl.reset()
+        assert ctrl.current_tau() == 8 and ctrl.interval_index == 0
+
+    def test_observe_validation(self):
+        ctrl = AdaCommController(AdaCommConfig())
+        with pytest.raises(ValueError):
+            ctrl.observe(-1.0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            ctrl.observe(1.0, -1.0, 0.1)
+        with pytest.raises(ValueError):
+            ctrl.observe(1.0, 1.0, 0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    f0=st.floats(min_value=1e-3, max_value=100.0),
+    fl=st.floats(min_value=0.0, max_value=100.0),
+    tau0=st.integers(min_value=1, max_value=200),
+)
+def test_property_basic_rule_bounds(f0, fl, tau0):
+    """eq. 17 output is ≥ 1 and scales like sqrt of the loss ratio (within ceil slack)."""
+    tau = basic_tau_update(f0, fl, tau0)
+    exact = math.sqrt(fl / f0) * tau0
+    assert tau >= 1
+    assert exact <= tau <= max(1.0, exact) + 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    f0=st.floats(min_value=1e-3, max_value=10.0),
+    fl=st.floats(min_value=0.0, max_value=10.0),
+    tau0=st.integers(min_value=1, max_value=100),
+    prev=st.integers(min_value=1, max_value=100),
+    gamma=st.floats(min_value=0.1, max_value=0.9),
+)
+def test_property_refined_rule_never_exceeds_previous_unless_smaller_candidate(f0, fl, tau0, prev, gamma):
+    """eq. 18 either strictly decreases τ (γ path) or returns a candidate < previous."""
+    out = refined_tau_update(f0, fl, tau0, previous_tau=prev, gamma=gamma)
+    assert out >= 1
+    candidate = basic_tau_update(f0, fl, tau0)
+    if candidate < prev:
+        assert out == candidate
+    else:
+        assert out <= max(1, math.floor(gamma * prev))

@@ -1,0 +1,278 @@
+"""Tests for the simulated distributed substrate (repro.distributed)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import partition_dataset
+from repro.distributed.averaging import average_states, weighted_average_states
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.events import CommunicationEvent, EventLog, LocalPeriodEvent
+from repro.distributed.worker import Worker
+from repro.models.mlp import MLP
+from repro.optim.block_momentum import BlockMomentum
+from repro.runtime.distributions import ConstantDelay
+from repro.runtime.network import NetworkModel
+from repro.runtime.simulator import RuntimeSimulator
+
+
+class TestAveraging:
+    def test_uniform_average(self):
+        states = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+        np.testing.assert_allclose(average_states(states), [2.0, 3.0])
+
+    def test_average_identity_for_single_state(self):
+        s = np.array([1.0, -1.0])
+        np.testing.assert_allclose(average_states([s]), s)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            average_states([np.zeros(2), np.zeros(3)])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            average_states([])
+
+    def test_weighted_average(self):
+        states = [np.array([0.0]), np.array([10.0])]
+        np.testing.assert_allclose(weighted_average_states(states, [1, 3]), [7.5])
+
+    def test_weighted_average_normalizes(self):
+        states = [np.array([2.0]), np.array([4.0])]
+        np.testing.assert_allclose(weighted_average_states(states, [10, 10]), [3.0])
+
+    def test_weighted_validation(self):
+        with pytest.raises(ValueError):
+            weighted_average_states([np.zeros(2)], [1, 2])
+        with pytest.raises(ValueError):
+            weighted_average_states([np.zeros(2), np.zeros(2)], [0, 0])
+        with pytest.raises(ValueError):
+            weighted_average_states([np.zeros(2), np.zeros(2)], [-1, 2])
+
+
+class TestWorker:
+    def _make_worker(self, tiny_dataset, worker_id=0, **kwargs):
+        model = MLP(n_features=8, n_classes=3, hidden_sizes=(12,), rng=0)
+        return Worker(worker_id, model, tiny_dataset, batch_size=16, lr=0.2, rng=0, **kwargs)
+
+    def test_local_step_changes_parameters_and_returns_loss(self, tiny_dataset):
+        worker = self._make_worker(tiny_dataset)
+        before = worker.get_parameters()
+        loss = worker.local_step()
+        assert np.isfinite(loss)
+        assert not np.allclose(before, worker.get_parameters())
+        assert worker.local_steps_taken == 1
+
+    def test_local_period_runs_tau_steps(self, tiny_dataset):
+        worker = self._make_worker(tiny_dataset)
+        worker.local_period(7)
+        assert worker.local_steps_taken == 7
+
+    def test_parameter_roundtrip(self, tiny_dataset):
+        worker = self._make_worker(tiny_dataset)
+        target = np.arange(worker.model.num_parameters(), dtype=float)
+        worker.set_parameters(target)
+        np.testing.assert_allclose(worker.get_parameters(), target)
+
+    def test_evaluate_loss_on_shard(self, tiny_dataset):
+        worker = self._make_worker(tiny_dataset)
+        assert np.isfinite(worker.evaluate_loss())
+
+    def test_training_reduces_loss(self, tiny_dataset):
+        worker = self._make_worker(tiny_dataset)
+        before = worker.evaluate_loss()
+        worker.local_period(60)
+        assert worker.evaluate_loss() < before
+
+    def test_invalid_tau(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            self._make_worker(tiny_dataset).local_period(0)
+
+    def test_negative_worker_id(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            self._make_worker(tiny_dataset, worker_id=-1)
+
+
+class TestEventLog:
+    def test_breakdown_sums(self):
+        log = EventLog()
+        log.append(LocalPeriodEvent(0.0, 5.0, tau=5, lr=0.1, iteration_end=5, mean_local_loss=1.0))
+        log.append(CommunicationEvent(5.0, 2.0, round_index=1))
+        log.append(LocalPeriodEvent(7.0, 5.0, tau=5, lr=0.1, iteration_end=10, mean_local_loss=0.8))
+        assert log.total_compute_time() == 10.0
+        assert log.total_communication_time() == 2.0
+        assert log.total_local_iterations() == 10
+        assert log.communication_rounds() == 1
+        assert log.breakdown()["total_time"] == 12.0
+
+    def test_chronological_order_enforced(self):
+        log = EventLog()
+        log.append(CommunicationEvent(5.0, 1.0, round_index=1))
+        with pytest.raises(ValueError):
+            log.append(CommunicationEvent(1.0, 1.0, round_index=2))
+
+    def test_filters(self):
+        log = EventLog()
+        log.append(LocalPeriodEvent(0.0, 1.0, 1, 0.1, 1, 0.5))
+        log.append(CommunicationEvent(1.0, 1.0, 1))
+        assert len(log.local_periods) == 1 and len(log.communications) == 1
+        assert len(log) == 2
+
+
+def _make_cluster(tiny_dataset, tiny_model_fn, n_workers=4, block_momentum=None, **kwargs):
+    runtime = RuntimeSimulator(
+        ConstantDelay(1.0), NetworkModel(2.0, "constant"), n_workers=n_workers, rng=0
+    )
+    return SimulatedCluster(
+        model_fn=tiny_model_fn,
+        dataset=tiny_dataset,
+        runtime=runtime,
+        n_workers=n_workers,
+        batch_size=8,
+        lr=0.2,
+        block_momentum=block_momentum,
+        seed=0,
+        **kwargs,
+    )
+
+
+class TestSimulatedCluster:
+    def test_workers_start_from_identical_parameters(self, tiny_dataset, tiny_model_fn):
+        cluster = _make_cluster(tiny_dataset, tiny_model_fn)
+        ref = cluster.workers[0].get_parameters()
+        for w in cluster.workers[1:]:
+            np.testing.assert_allclose(w.get_parameters(), ref)
+
+    def test_local_period_advances_clock_by_compute_time(self, tiny_dataset, tiny_model_fn):
+        cluster = _make_cluster(tiny_dataset, tiny_model_fn)
+        cluster.run_local_period(5)
+        assert cluster.clock.now == pytest.approx(5.0)  # constant Y=1 per step
+        assert cluster.total_local_iterations == 5
+
+    def test_averaging_advances_clock_by_communication_delay(self, tiny_dataset, tiny_model_fn):
+        cluster = _make_cluster(tiny_dataset, tiny_model_fn)
+        cluster.run_local_period(3)
+        cluster.average_models()
+        assert cluster.clock.now == pytest.approx(3.0 + 2.0)
+        assert cluster.communication_rounds == 1
+
+    def test_averaging_synchronizes_all_workers(self, tiny_dataset, tiny_model_fn):
+        cluster = _make_cluster(tiny_dataset, tiny_model_fn)
+        cluster.run_local_period(4)
+        assert cluster.model_discrepancy() > 0
+        averaged = cluster.average_models()
+        for w in cluster.workers:
+            np.testing.assert_allclose(w.get_parameters(), averaged)
+        assert cluster.model_discrepancy() == pytest.approx(0.0, abs=1e-12)
+
+    def test_average_is_mean_of_local_models(self, tiny_dataset, tiny_model_fn):
+        cluster = _make_cluster(tiny_dataset, tiny_model_fn)
+        cluster.run_local_period(3)
+        states = [w.get_parameters() for w in cluster.workers]
+        expected = np.mean(np.stack(states), axis=0)
+        np.testing.assert_allclose(cluster.average_models(), expected)
+
+    def test_clock_equals_event_log_total(self, tiny_dataset, tiny_model_fn):
+        cluster = _make_cluster(tiny_dataset, tiny_model_fn)
+        for tau in (3, 5, 2):
+            cluster.run_round(tau)
+        assert cluster.clock.now == pytest.approx(cluster.events.total_time())
+        assert cluster.events.total_local_iterations() == 10
+
+    def test_set_lr_propagates(self, tiny_dataset, tiny_model_fn):
+        cluster = _make_cluster(tiny_dataset, tiny_model_fn)
+        cluster.set_lr(0.01)
+        assert all(w.optimizer.lr == 0.01 for w in cluster.workers)
+        with pytest.raises(ValueError):
+            cluster.set_lr(0.0)
+
+    def test_training_reduces_global_loss(self, tiny_dataset, tiny_model_fn):
+        cluster = _make_cluster(tiny_dataset, tiny_model_fn)
+        X, y = tiny_dataset.X, tiny_dataset.y
+
+        def loss_metric(model, Xe, ye):
+            return float(model.loss(Xe, ye).item())
+
+        before = cluster.evaluate_synchronized(X, y, loss_metric)
+        for _ in range(15):
+            cluster.run_round(4)
+        after = cluster.evaluate_synchronized(X, y, loss_metric)
+        assert after < 0.8 * before
+
+    def test_block_momentum_zero_beta_matches_plain_averaging(self, tiny_dataset, tiny_model_fn):
+        plain = _make_cluster(tiny_dataset, tiny_model_fn)
+        with_bm = _make_cluster(tiny_dataset, tiny_model_fn, block_momentum=BlockMomentum(0.0))
+        for _ in range(3):
+            plain.run_round(4)
+            with_bm.run_round(4)
+        np.testing.assert_allclose(
+            plain.synchronized_parameters, with_bm.synchronized_parameters, atol=1e-10
+        )
+
+    def test_block_momentum_changes_trajectory(self, tiny_dataset, tiny_model_fn):
+        plain = _make_cluster(tiny_dataset, tiny_model_fn)
+        with_bm = _make_cluster(tiny_dataset, tiny_model_fn, block_momentum=BlockMomentum(0.5))
+        for _ in range(4):
+            plain.run_round(4)
+            with_bm.run_round(4)
+        assert not np.allclose(plain.synchronized_parameters, with_bm.synchronized_parameters)
+
+    def test_partitioned_dataset_input(self, tiny_dataset, tiny_model_fn):
+        part = partition_dataset(tiny_dataset, 4, rng=0)
+        runtime = RuntimeSimulator(ConstantDelay(1.0), NetworkModel(1.0, "constant"), 4, rng=0)
+        cluster = SimulatedCluster(tiny_model_fn, part, runtime, n_workers=4, batch_size=8, lr=0.1)
+        assert len(cluster.workers) == 4
+
+    def test_partition_worker_mismatch_raises(self, tiny_dataset, tiny_model_fn):
+        part = partition_dataset(tiny_dataset, 3, rng=0)
+        runtime = RuntimeSimulator(ConstantDelay(1.0), NetworkModel(1.0, "constant"), 4, rng=0)
+        with pytest.raises(ValueError):
+            SimulatedCluster(tiny_model_fn, part, runtime, n_workers=4)
+
+    def test_runtime_worker_mismatch_raises(self, tiny_dataset, tiny_model_fn):
+        runtime = RuntimeSimulator(ConstantDelay(1.0), NetworkModel(1.0, "constant"), 2, rng=0)
+        with pytest.raises(ValueError):
+            SimulatedCluster(tiny_model_fn, tiny_dataset, runtime, n_workers=4)
+
+    def test_dataset_free_cluster(self, tiny_model_fn):
+        # Quadratic-style objectives need no dataset; workers get shard=None.
+        from repro.models.quadratic import NoisyQuadraticProblem, QuadraticObjective
+
+        obj = QuadraticObjective.random(dim=6, rng=0, noise_std=0.1)
+
+        def model_fn():
+            return NoisyQuadraticProblem(obj, x0=np.ones(6) * 3.0, rng=0)
+
+        runtime = RuntimeSimulator(ConstantDelay(1.0), NetworkModel(1.0, "constant"), 2, rng=0)
+        cluster = SimulatedCluster(model_fn, None, runtime, n_workers=2, lr=0.1, seed=0)
+        before = obj.value(cluster.synchronized_parameters)
+        for _ in range(20):
+            cluster.run_round(5)
+        assert obj.value(cluster.synchronized_parameters) < before
+
+    def test_epochs_completed(self, tiny_dataset, tiny_model_fn):
+        cluster = _make_cluster(tiny_dataset, tiny_model_fn)
+        assert cluster.epochs_completed() == 0.0
+        cluster.run_round(10)
+        # 10 iterations × 8 batch × 4 workers = 320 samples over a 180-sample dataset.
+        assert cluster.epochs_completed() == pytest.approx(320 / 180)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_states=st.integers(min_value=1, max_value=6),
+    dim=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_average_preserves_mean_and_bounds(n_states, dim, seed):
+    """The averaged state lies inside the per-coordinate min/max envelope."""
+    gen = np.random.default_rng(seed)
+    states = [gen.normal(size=dim) for _ in range(n_states)]
+    avg = average_states(states)
+    stacked = np.stack(states)
+    assert np.all(avg >= stacked.min(axis=0) - 1e-12)
+    assert np.all(avg <= stacked.max(axis=0) + 1e-12)
+    np.testing.assert_allclose(avg.mean(), stacked.mean(), atol=1e-12)

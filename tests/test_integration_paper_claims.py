@@ -1,0 +1,175 @@
+"""Integration tests for the paper's headline qualitative claims.
+
+These tests run small end-to-end experiments on the simulated cluster and
+check the *shape* of the paper's findings:
+
+1. PASGD with τ > 1 has a higher runtime speed-up over synchronous SGD when
+   the communication/computation ratio α is larger (Figure 4).
+2. Periodic averaging mitigates stragglers: with exponential compute times
+   the per-iteration runtime of PASGD is lower and lighter-tailed (Figure 5).
+3. On a noisy convex problem, a large fixed τ converges to a *higher* loss
+   floor than fully synchronous SGD, while reaching moderate loss levels
+   sooner in wall-clock time (Figures 1, 6, 9).
+4. ADACOMM reaches a given target loss in less wall-clock time than fully
+   synchronous SGD and ends at a loss floor comparable to (or better than)
+   the best method (Figures 9–11, Table 1).
+5. Decreasing-τ schedules satisfy Theorem 3's conditions more easily than
+   constant-τ schedules with the same learning rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adacomm import AdaCommConfig
+from repro.core.schedules import AdaCommSchedule, FixedCommunicationSchedule
+from repro.core.trainer import PASGDTrainer, TrainerConfig
+from repro.distributed.cluster import SimulatedCluster
+from repro.models.quadratic import NoisyQuadraticProblem, QuadraticObjective
+from repro.runtime.distributions import ConstantDelay, ExponentialDelay
+from repro.runtime.network import NetworkModel
+from repro.runtime.order_stats import empirical_max_distribution
+from repro.runtime.simulator import RuntimeSimulator
+from repro.runtime.model import speedup_constant_delays
+
+
+# ---------------------------------------------------------------------------
+# A shared noisy quadratic workload: convex, with an exactly known loss floor.
+# ---------------------------------------------------------------------------
+DIM = 12
+NOISE_STD = 0.6
+LR = 0.05
+
+
+def quadratic_cluster(alpha: float, n_workers: int = 4, seed: int = 0) -> SimulatedCluster:
+    objective = QuadraticObjective.random(dim=DIM, condition_number=5.0, noise_std=NOISE_STD, rng=7)
+
+    def model_fn():
+        return NoisyQuadraticProblem(objective, x0=np.full(DIM, 4.0), rng=seed)
+
+    runtime = RuntimeSimulator(
+        ConstantDelay(1.0), NetworkModel(alpha, "constant"), n_workers=n_workers, rng=seed
+    )
+    cluster = SimulatedCluster(model_fn, None, runtime, n_workers=n_workers, lr=LR, seed=seed)
+    cluster._objective = objective  # stash for evaluation
+    return cluster
+
+
+def run_quadratic(schedule, alpha: float, wall_time: float, seed: int = 0):
+    cluster = quadratic_cluster(alpha, seed=seed)
+    trainer = PASGDTrainer(
+        cluster,
+        schedule,
+        loss_fn=lambda model: cluster._objective.value(cluster.synchronized_parameters),
+        config=TrainerConfig(max_wall_time=wall_time),
+        name=schedule.label,
+    )
+    return trainer.train()
+
+
+class TestRuntimeClaims:
+    def test_speedup_grows_with_alpha_and_tau(self):
+        """Figure 4: higher α and larger τ both increase the runtime speed-up."""
+        assert speedup_constant_delays(0.9, 20) > speedup_constant_delays(0.5, 20)
+        assert speedup_constant_delays(0.9, 20) > speedup_constant_delays(0.9, 5)
+        assert speedup_constant_delays(0.9, 100) == pytest.approx(1.9 / 1.009, rel=1e-3)
+
+    def test_straggler_mitigation_lighter_tail(self):
+        """Figure 5: PASGD's per-iteration runtime has a smaller mean and lighter tail."""
+        sync = empirical_max_distribution(ExponentialDelay(1.0), m=16, tau=1, comm_delay=1.0, rng=0)
+        pasgd = empirical_max_distribution(ExponentialDelay(1.0), m=16, tau=10, comm_delay=1.0, rng=0)
+        assert pasgd.mean() < 0.75 * sync.mean()
+        assert np.quantile(pasgd, 0.95) < np.quantile(sync, 0.95)
+
+    def test_wall_clock_throughput_ordering_in_simulation(self):
+        """With α=4 the simulated cluster completes ~4-5x more local iterations per
+        unit time at τ=20 than at τ=1 (communication amortization)."""
+        rec_sync = run_quadratic(FixedCommunicationSchedule(1), alpha=4.0, wall_time=300.0)
+        rec_tau20 = run_quadratic(FixedCommunicationSchedule(20), alpha=4.0, wall_time=300.0)
+        iters_sync = rec_sync.points[-1].iteration
+        iters_tau20 = rec_tau20.points[-1].iteration
+        assert iters_tau20 > 3.0 * iters_sync
+
+
+class TestErrorRuntimeTradeoff:
+    """Error-runtime trade-off on the calibrated classification workload.
+
+    Note that on a purely *quadratic* objective with additive gradient noise,
+    periodic averaging incurs no extra error floor at all (the gradient is
+    linear, so averaging the local trajectories is equivalent to running
+    synchronous SGD on the averaged noise); the floor phenomenon the paper
+    describes requires a nonlinear gradient.  These tests therefore use the
+    softmax-regression workload of the experiment harness, which is the same
+    setting the Figure-9 benchmark reproduces.
+    """
+
+    @pytest.fixture(scope="class")
+    def vgg_store(self):
+        from repro.experiments.configs import make_config
+        from repro.experiments.harness import run_experiment
+
+        config = make_config("vgg_cifar10_fixed_lr", n_train=2400, wall_time_budget=1800.0)
+        return run_experiment(config)
+
+    @staticmethod
+    def _floor(record) -> float:
+        return float(np.mean(record.train_losses[-8:]))
+
+    def test_large_tau_has_higher_error_floor(self, vgg_store):
+        """Figures 1/6/9: with a fixed learning rate, τ=100 converges to a higher
+        loss floor than fully synchronous SGD given enough wall-clock time."""
+        floor_sync = self._floor(vgg_store.get("sync-sgd"))
+        floor_tau100 = self._floor(vgg_store.get("pasgd-tau100"))
+        assert floor_tau100 > 1.1 * floor_sync
+
+    def test_large_tau_reaches_moderate_loss_sooner(self, vgg_store):
+        """The flip side of the trade-off: at high α, large τ hits moderate loss
+        levels earlier in wall-clock time than synchronous SGD."""
+        rec_sync = vgg_store.get("sync-sgd")
+        rec_tau20 = vgg_store.get("pasgd-tau20")
+        target = 0.9  # moderate loss level reached early by every method
+        assert rec_tau20.time_to_loss(target) < rec_sync.time_to_loss(target)
+
+    def test_adacomm_wins_on_both_ends(self, vgg_store):
+        """ADACOMM reaches a mid-training target faster than sync SGD *and* ends
+        at a floor comparable to sync SGD (the win-win of Figure 7)."""
+        rec_ada = vgg_store.get("adacomm")
+        rec_sync = vgg_store.get("sync-sgd")
+        rec_tau100 = vgg_store.get("pasgd-tau100")
+
+        target = 0.8
+        assert rec_ada.time_to_loss(target) < 0.8 * rec_sync.time_to_loss(target)
+
+        floor_ada = self._floor(rec_ada)
+        assert floor_ada < self._floor(rec_tau100)  # far below the extreme-throughput baseline
+        assert floor_ada < 1.15 * self._floor(rec_sync)  # and comparable to fully synchronous SGD
+
+    def test_adacomm_tau_sequence_is_decreasing(self, vgg_store):
+        taus = [p.tau for p in vgg_store.get("adacomm").points[1:]]
+        assert taus[0] == 20
+        assert taus[-1] < taus[0]
+        assert all(b <= a for a, b in zip(taus, taus[1:]))
+
+    def test_quadratic_objective_has_no_averaging_penalty(self):
+        """Sanity check of the note above: on a quadratic objective the floors of
+        sync SGD and PASGD(τ=30) coincide (within Monte-Carlo tolerance)."""
+        budget = 3000.0
+        rec_sync = run_quadratic(FixedCommunicationSchedule(1), alpha=1.0, wall_time=budget)
+        rec_tau = run_quadratic(FixedCommunicationSchedule(30), alpha=1.0, wall_time=budget)
+        floor_sync = np.mean(rec_sync.train_losses[-10:])
+        floor_tau = np.mean(rec_tau.train_losses[-10:])
+        assert floor_tau == pytest.approx(floor_sync, rel=0.5)
+
+
+class TestTheoremThreeShape:
+    def test_decreasing_tau_schedule_easier_to_satisfy(self):
+        from repro.core.theory import adacomm_convergence_conditions
+
+        lrs = [0.1 / np.sqrt(r + 1) for r in range(200)]
+        decreasing_taus = [max(1, 20 - r // 10) for r in range(200)]
+        constant_taus = [20] * 200
+        dec = adacomm_convergence_conditions(lrs, decreasing_taus)
+        const = adacomm_convergence_conditions(lrs, constant_taus)
+        assert dec["sum_lr2_tau"] < const["sum_lr2_tau"]
+        assert dec["sum_lr3_tau2"] < const["sum_lr3_tau2"]

@@ -1,0 +1,251 @@
+"""Tests for the layer library (repro.nn.layers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Residual,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestModuleBasics:
+    def test_parameters_discovered_recursively(self):
+        net = Sequential(Linear(4, 8, rng=0), ReLU(), Linear(8, 2, rng=1))
+        names = [n for n, _ in net.named_parameters()]
+        assert len(names) == 4  # two weights + two biases
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_flat_parameters_roundtrip(self):
+        net = Sequential(Linear(3, 5, rng=0), Tanh(), Linear(5, 2, rng=1))
+        flat = net.get_flat_parameters()
+        assert flat.shape == (net.num_parameters(),)
+        perturbed = flat + 1.0
+        net.set_flat_parameters(perturbed)
+        np.testing.assert_allclose(net.get_flat_parameters(), perturbed)
+
+    def test_set_flat_parameters_wrong_size_raises(self):
+        net = Linear(3, 2, rng=0)
+        with pytest.raises(ValueError):
+            net.set_flat_parameters(np.zeros(5))
+
+    def test_flat_gradients_zero_when_unset(self):
+        net = Linear(3, 2, rng=0)
+        grads = net.get_flat_gradients()
+        np.testing.assert_allclose(grads, np.zeros(net.num_parameters()))
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(4, 3, rng=0)
+        b = Linear(4, 3, rng=99)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_mismatch_raises(self):
+        a = Linear(4, 3, rng=0)
+        b = Linear(5, 3, rng=0)
+        with pytest.raises((KeyError, ValueError)):
+            b.load_state_dict(a.state_dict())
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Dropout(0.5, rng=0), Linear(3, 2, rng=0))
+        net.eval()
+        assert not net.training and not net[0].training
+        net.train()
+        assert net.training and net[0].training
+
+    def test_zero_grad_clears_all(self):
+        net = Linear(3, 2, rng=0)
+        out = net(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        assert net.weight.grad is not None
+        net.zero_grad()
+        assert net.weight.grad is None
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self):
+        layer = Linear(4, 3, rng=0)
+        x = np.random.default_rng(0).normal(size=(5, 4))
+        out = layer(Tensor(x))
+        assert out.shape == (5, 3)
+        np.testing.assert_allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, rng=0)
+        assert layer.bias is None
+        assert layer.num_parameters() == 12
+
+    def test_gradients_flow_to_both_params(self):
+        layer = Linear(4, 3, rng=0)
+        layer(Tensor(np.ones((2, 4)))).sum().backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, np.full(3, 2.0))
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+
+class TestActivationsAndDropout:
+    def test_relu_layer(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_sigmoid_range(self):
+        out = Sigmoid()(Tensor(np.linspace(-5, 5, 11)))
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+    def test_flatten(self):
+        out = Flatten()(Tensor(np.zeros((2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_dropout_eval_is_identity(self):
+        layer = Dropout(0.8, rng=0)
+        layer.eval()
+        x = np.random.default_rng(1).normal(size=(10, 10))
+        np.testing.assert_allclose(layer(Tensor(x)).data, x)
+
+    def test_dropout_train_scales_survivors(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((2000,))
+        out = layer(Tensor(x)).data
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted dropout scaling
+        assert 0.3 < (out > 0).mean() < 0.7
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestConv2d:
+    def test_output_shape_with_padding(self):
+        conv = Conv2d(3, 8, kernel_size=3, padding=1, rng=0)
+        out = conv(Tensor(np.zeros((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_output_shape_with_stride(self):
+        conv = Conv2d(1, 4, kernel_size=3, stride=2, rng=0)
+        out = conv(Tensor(np.zeros((1, 1, 9, 9))))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_matches_naive_convolution(self):
+        gen = np.random.default_rng(3)
+        conv = Conv2d(2, 3, kernel_size=3, rng=0)
+        x = gen.normal(size=(1, 2, 5, 5))
+        out = conv(Tensor(x)).data
+        # Naive direct convolution for comparison.
+        w, b = conv.weight.data, conv.bias.data
+        expected = np.zeros((1, 3, 3, 3))
+        for oc in range(3):
+            for i in range(3):
+                for j in range(3):
+                    patch = x[0, :, i : i + 3, j : j + 3]
+                    expected[0, oc, i, j] = np.sum(patch * w[oc]) + b[oc]
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_gradient_matches_numeric(self):
+        gen = np.random.default_rng(5)
+        conv = Conv2d(1, 2, kernel_size=2, rng=0)
+        x_data = gen.normal(size=(1, 1, 4, 4))
+
+        x = Tensor(x_data.copy(), requires_grad=True)
+        conv(x).sum().backward()
+
+        eps = 1e-6
+        num = np.zeros_like(x_data)
+        for idx in np.ndindex(x_data.shape):
+            xp = x_data.copy()
+            xp[idx] += eps
+            xm = x_data.copy()
+            xm[idx] -= eps
+            fp = conv(Tensor(xp)).sum().item()
+            fm = conv(Tensor(xm)).sum().item()
+            num[idx] = (fp - fm) / (2 * eps)
+        np.testing.assert_allclose(x.grad, num, atol=1e-5)
+        assert conv.weight.grad is not None and conv.bias.grad is not None
+
+    def test_rejects_non_nchw(self):
+        conv = Conv2d(1, 2, kernel_size=2, rng=0)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((4, 4))))
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2)(Tensor(x))
+        np.testing.assert_allclose(out.data[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_maxpool_gradient_routes_to_argmax(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        MaxPool2d(2)(x).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_avgpool_values_and_gradient(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        out = AvgPool2d(2)(x)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+
+class TestBatchNormAndResidual:
+    def test_batchnorm_normalizes_in_train_mode(self):
+        bn = BatchNorm1d(4)
+        x = np.random.default_rng(0).normal(loc=5.0, scale=3.0, size=(64, 4))
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=0), np.zeros(4), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), np.ones(4), atol=1e-2)
+
+    def test_batchnorm_eval_uses_running_stats(self):
+        bn = BatchNorm1d(2, momentum=1.0)
+        x = np.random.default_rng(1).normal(loc=2.0, size=(32, 2))
+        bn(Tensor(x))  # one training pass sets running stats
+        bn.eval()
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=0), np.zeros(2), atol=0.1)
+
+    def test_batchnorm_rejects_3d(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(4)(Tensor(np.zeros((2, 4, 4))))
+
+    def test_residual_adds_identity(self):
+        inner = Linear(4, 4, rng=0)
+        inner.weight.data[...] = 0.0
+        inner.bias.data[...] = 0.0
+        res = Residual(inner)
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        np.testing.assert_allclose(res(Tensor(x)).data, x)
+
+    def test_residual_registers_inner_params(self):
+        res = Residual(Linear(4, 4, rng=0))
+        assert res.num_parameters() == 20
+
+
+class TestSequential:
+    def test_len_and_indexing(self):
+        net = Sequential(Linear(2, 3, rng=0), ReLU())
+        assert len(net) == 2
+        assert isinstance(net[1], ReLU)
+
+    def test_callable_with_raw_numpy(self):
+        net = Sequential(Linear(2, 2, rng=0))
+        out = net(np.ones((4, 2)))
+        assert isinstance(out, Tensor) and out.shape == (4, 2)

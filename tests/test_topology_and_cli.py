@@ -1,0 +1,155 @@
+"""Tests for the decentralized-averaging topologies and the CLI entry point."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import networkx as nx
+
+from repro.distributed.averaging import average_states
+from repro.distributed.topology import (
+    complete_mixing_matrix,
+    consensus_distance,
+    metropolis_hastings_weights,
+    mix_states,
+    ring_mixing_matrix,
+    rounds_to_consensus,
+    spectral_gap,
+    star_mixing_matrix,
+)
+from repro.experiments.cli import build_parser, main
+
+
+class TestMixingMatrices:
+    @pytest.mark.parametrize("builder", [complete_mixing_matrix, ring_mixing_matrix, star_mixing_matrix])
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 8])
+    def test_doubly_stochastic(self, builder, m):
+        W = builder(m)
+        assert W.shape == (m, m)
+        np.testing.assert_allclose(W.sum(axis=0), np.ones(m), atol=1e-10)
+        np.testing.assert_allclose(W.sum(axis=1), np.ones(m), atol=1e-10)
+        assert np.all(W >= -1e-12)
+
+    def test_complete_graph_has_unit_spectral_gap(self):
+        assert spectral_gap(complete_mixing_matrix(6)) == pytest.approx(1.0, abs=1e-10)
+
+    def test_ring_gap_shrinks_with_size(self):
+        assert spectral_gap(ring_mixing_matrix(4)) > spectral_gap(ring_mixing_matrix(16))
+
+    def test_metropolis_hastings_on_random_graph(self):
+        graph = nx.erdos_renyi_graph(10, 0.5, seed=0)
+        # Ensure connectivity for the test.
+        if not nx.is_connected(graph):
+            graph = nx.complete_graph(10)
+        W = metropolis_hastings_weights(graph)
+        np.testing.assert_allclose(W.sum(axis=1), np.ones(10), atol=1e-10)
+        assert spectral_gap(W) > 0
+
+    def test_metropolis_hastings_rejects_disconnected(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1, 2, 3])
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            metropolis_hastings_weights(graph)
+
+    def test_invalid_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            spectral_gap(np.array([[0.5, 0.6], [0.4, 0.5]]))
+        with pytest.raises(ValueError):
+            spectral_gap(np.array([[1.0, 0.0]]))
+
+
+class TestGossipAveraging:
+    def _states(self, m=6, dim=10, seed=0):
+        gen = np.random.default_rng(seed)
+        return [gen.normal(size=dim) for _ in range(m)]
+
+    def test_complete_mixing_matches_exact_average(self):
+        states = self._states()
+        mixed = mix_states(states, complete_mixing_matrix(len(states)), rounds=1)
+        exact = average_states(states)
+        for s in mixed:
+            np.testing.assert_allclose(s, exact, atol=1e-12)
+
+    def test_gossip_preserves_global_mean(self):
+        states = self._states()
+        W = ring_mixing_matrix(len(states))
+        mixed = mix_states(states, W, rounds=5)
+        np.testing.assert_allclose(average_states(mixed), average_states(states), atol=1e-10)
+
+    def test_gossip_reduces_consensus_distance(self):
+        states = self._states()
+        W = ring_mixing_matrix(len(states))
+        d0 = consensus_distance(states)
+        d5 = consensus_distance(mix_states(states, W, rounds=5))
+        d20 = consensus_distance(mix_states(states, W, rounds=20))
+        assert d5 < d0 and d20 < d5
+
+    def test_rounds_to_consensus_bound_is_sufficient(self):
+        states = self._states(m=8)
+        W = ring_mixing_matrix(8)
+        rounds = rounds_to_consensus(W, tolerance=1e-3)
+        mixed = mix_states(states, W, rounds=rounds)
+        assert consensus_distance(mixed) < 1.1e-3 * consensus_distance(states)
+
+    def test_zero_rounds_is_identity(self):
+        states = self._states()
+        mixed = mix_states(states, ring_mixing_matrix(len(states)), rounds=0)
+        for a, b in zip(states, mixed):
+            np.testing.assert_allclose(a, b)
+
+    def test_state_count_mismatch(self):
+        with pytest.raises(ValueError):
+            mix_states(self._states(m=3), ring_mixing_matrix(4))
+
+    def test_rounds_to_consensus_validation(self):
+        with pytest.raises(ValueError):
+            rounds_to_consensus(ring_mixing_matrix(4), tolerance=2.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(min_value=2, max_value=10),
+    rounds=st.integers(min_value=1, max_value=15),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_gossip_is_mean_preserving_contraction(m, rounds, seed):
+    """Any number of ring-gossip rounds preserves the mean and never increases
+    the consensus distance."""
+    gen = np.random.default_rng(seed)
+    states = [gen.normal(size=5) for _ in range(m)]
+    W = ring_mixing_matrix(m)
+    mixed = mix_states(states, W, rounds=rounds)
+    np.testing.assert_allclose(average_states(mixed), average_states(states), atol=1e-9)
+    assert consensus_distance(mixed) <= consensus_distance(states) + 1e-9
+
+
+class TestCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.config == "vgg_cifar10_fixed_lr"
+        assert args.scale == 1.0
+
+    def test_parser_rejects_unknown_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--config", "does-not-exist"])
+
+    def test_main_runs_smoke_config_and_saves(self, tmp_path, capsys):
+        out_path = tmp_path / "runs.json"
+        exit_code = main(["--config", "smoke", "--save", str(out_path), "--points", "4"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "adacomm" in captured
+        assert "Time to target training loss" in captured
+        payload = json.loads(out_path.read_text())
+        assert {run["name"] for run in payload["runs"]} == {"sync-sgd", "pasgd-tau8", "adacomm"}
+
+    def test_main_with_explicit_target_and_seed(self, capsys):
+        assert main(["--config", "smoke", "--seed", "3", "--target-loss", "0.5"]) == 0
+        assert "speed-up" in capsys.readouterr().out.lower()
