@@ -4,25 +4,31 @@ Runs the small "smoke" workload on a simulated 2-worker cluster and prints,
 for each method, the training-loss trajectory against simulated wall-clock
 time plus the wall-clock speed-up of ADACOMM over synchronous SGD.
 
+Every component (model, dataset, delay distribution, method lineup) is picked
+by name from the ``repro.api`` registries, so swapping the workload is a
+one-line change — see the ``Experiment`` builder chain below.
+
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import make_config, run_experiment
+from repro import Experiment
 from repro.experiments.figures import loss_vs_time_series, summarize_series
 from repro.experiments.tables import format_table, time_to_loss_table
 
 
 def main() -> None:
-    # A named experiment config: model, synthetic dataset, cluster size, delay
-    # model, learning-rate schedule, and the ADACOMM settings.
-    config = make_config("smoke")
+    # Start from the named "smoke" config and compose the workload
+    # declaratively: any registered model / delay / method lineup plugs in.
+    # Try .model("vgg_lite_cnn") or .delay("pareto") for other scenarios.
+    experiment = Experiment("smoke").model("mlp").delay("shifted_exponential")
+    config = experiment.build()
     print(f"workload: {config.name}  ({config.n_workers} workers, alpha = {config.alpha})")
 
-    # run_experiment trains every method (sync SGD, fixed-tau PASGD, AdaComm)
-    # on the same data split and delay model and returns a RunStore.
-    store = run_experiment(config)
+    # run() trains every method (sync SGD, fixed-tau PASGD, AdaComm) on the
+    # same data split and delay model and returns a RunStore.
+    store = experiment.run()
 
     for record in store:
         print(f"\n=== {record.name} ===")

@@ -9,6 +9,13 @@ with a stochastic delay model, PASGD with fixed and adaptive communication
 periods, block momentum, the paper's theoretical bounds, and an experiment
 harness that regenerates every table and figure of the evaluation section.
 
+Every pluggable component — models, datasets, delay distributions, network
+scalings, communication schedules, LR schedules — is resolved by name through
+the registries in :mod:`repro.api`, so experiments are data: compose them
+with the fluent :class:`Experiment` builder, serialize them with
+``ExperimentConfig.to_dict()``/``from_dict()``, or run them from the CLI
+(``python -m repro --config smoke --model vgg_lite_cnn --set n_workers=4``).
+
 Quickstart
 ----------
 >>> from repro import make_config, run_experiment
@@ -16,8 +23,23 @@ Quickstart
 >>> store = run_experiment(config)
 >>> sorted(store.names())  # doctest: +ELLIPSIS
 ['adacomm', ...]
+
+Or declaratively, composing any registered model × dataset × delay × method
+lineup:
+
+>>> from repro import Experiment
+>>> store = (
+...     Experiment("smoke")
+...     .model("vgg_lite_cnn")
+...     .delay("pareto")
+...     .methods("sync-sgd", "adacomm")
+...     .run()
+... )
+>>> sorted(store.names())
+['adacomm', 'sync-sgd']
 """
 
+from repro.api import Experiment, Registry
 from repro.core import (
     AdaCommConfig,
     AdaCommController,
@@ -37,8 +59,10 @@ from repro.distributed import SimulatedCluster, Worker
 from repro.experiments import (
     ExperimentConfig,
     available_configs,
+    config_spec,
     default_methods,
     make_config,
+    parse_method_spec,
     run_experiment,
     run_method,
 )
@@ -56,6 +80,8 @@ from repro.utils import RunRecord, RunStore
 __version__ = "1.0.0"
 
 __all__ = [
+    "Experiment",
+    "Registry",
     "AdaCommConfig",
     "AdaCommController",
     "AdaCommSchedule",
@@ -73,8 +99,10 @@ __all__ = [
     "Worker",
     "ExperimentConfig",
     "available_configs",
+    "config_spec",
     "default_methods",
     "make_config",
+    "parse_method_spec",
     "run_experiment",
     "run_method",
     "SGD",

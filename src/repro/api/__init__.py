@@ -1,0 +1,63 @@
+"""``repro.api`` — the unified registry + declarative experiment surface.
+
+Everything the experiment harness composes — models, datasets, delay
+distributions, network scalings, communication schedules, learning-rate
+schedules — is resolved *by name* through the registries defined here, and a
+whole experiment is therefore plain data: an :class:`ExperimentConfig` that
+round-trips through JSON, or a fluent :class:`Experiment` builder chain::
+
+    from repro.api import Experiment
+
+    store = (
+        Experiment("smoke")
+        .model("vgg_lite_cnn")
+        .delay("pareto")
+        .methods("sync-sgd", "adacomm")
+        .run()
+    )
+
+Third-party components plug in with one decorator::
+
+    from repro.api import DELAYS
+
+    @DELAYS.register("bimodal")
+    class BimodalDelay(DelayDistribution):
+        ...
+
+The ``Experiment`` name is imported lazily so that ``repro.api`` itself stays
+import-cycle-free with the subpackages that register into it.
+"""
+
+from __future__ import annotations
+
+from repro.api.registries import (
+    COMM_SCHEDULES,
+    DATASETS,
+    DELAYS,
+    LR_SCHEDULES,
+    MODELS,
+    NETWORK_SCALINGS,
+    all_registries,
+)
+from repro.api.registry import Registry, filter_kwargs
+
+__all__ = [
+    "Registry",
+    "filter_kwargs",
+    "MODELS",
+    "DATASETS",
+    "DELAYS",
+    "NETWORK_SCALINGS",
+    "COMM_SCHEDULES",
+    "LR_SCHEDULES",
+    "all_registries",
+    "Experiment",
+]
+
+
+def __getattr__(name: str):
+    if name == "Experiment":
+        from repro.api.experiment import Experiment
+
+        return Experiment
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,161 @@
+"""Fluent, declarative experiment builder.
+
+``Experiment`` wraps an :class:`~repro.experiments.configs.ExperimentConfig`
+and lets you compose any registered model × dataset × delay × method lineup
+from one entry point, validating each name against its registry at the time
+it is set::
+
+    from repro.api import Experiment
+
+    store = (
+        Experiment("smoke")
+        .model("vgg_lite_cnn")
+        .delay("pareto")
+        .methods("sync-sgd", "adacomm")
+        .set(n_workers=4, alpha=2.0)
+        .run()
+    )
+
+Every mutator returns the builder, ``build()`` returns the immutable config,
+and ``run()`` hands it to :func:`repro.experiments.harness.run_experiment`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.api.registries import (
+    DATASETS,
+    DELAYS,
+    LR_SCHEDULES,
+    MODELS,
+    NETWORK_SCALINGS,
+)
+from repro.experiments.configs import ExperimentConfig, _apply_scale, make_config
+
+__all__ = ["Experiment"]
+
+
+class Experiment:
+    """Fluent builder over a named or explicit :class:`ExperimentConfig`.
+
+    Parameters
+    ----------
+    config:
+        A named config (see ``available_configs()``) or a ready
+        ``ExperimentConfig`` to start from.
+    overrides:
+        Initial field overrides, as for :meth:`set`.
+    """
+
+    def __init__(self, config: str | ExperimentConfig = "smoke", **overrides):
+        if isinstance(config, ExperimentConfig):
+            self._config = config
+        else:
+            self._config = make_config(config)
+        if overrides:
+            self._config = self._config.with_overrides(**overrides)
+
+    # -- component selection ----------------------------------------------
+
+    def model(self, name: str, **kwargs) -> "Experiment":
+        """Select a registered model; extra kwargs go to its builder verbatim."""
+        MODELS.get(name)
+        self._config = self._config.with_overrides(model=name, model_kwargs=dict(kwargs))
+        return self
+
+    def dataset(self, name: str) -> "Experiment":
+        """Select a registered dataset generator."""
+        DATASETS.get(name)
+        self._config = self._config.with_overrides(dataset=name, dataset_fn=None)
+        return self
+
+    def delay(self, kind: str, **params) -> "Experiment":
+        """Select a compute-time delay distribution.
+
+        Without ``params`` the distribution is moment-matched to the config's
+        ``compute_time`` / ``compute_time_std_fraction``; with ``params`` they
+        are passed to the distribution verbatim.
+        """
+        DELAYS.get(kind)
+        spec: str | dict = {"kind": kind, **params} if params else kind
+        self._config = self._config.with_overrides(delay=spec)
+        return self
+
+    def network(self, scaling: str) -> "Experiment":
+        """Select how the broadcast delay scales with the number of workers."""
+        NETWORK_SCALINGS.get(scaling)
+        self._config = self._config.with_overrides(network_scaling=scaling)
+        return self
+
+    def lr_schedule(self, name: str) -> "Experiment":
+        """Select a registered learning-rate schedule by name."""
+        LR_SCHEDULES.get(name)
+        self._config = self._config.with_overrides(lr_schedule=name)
+        return self
+
+    def methods(self, *specs: str) -> "Experiment":
+        """Set the method lineup from spec strings (see ``parse_method_spec``).
+
+        Each spec is parsed (and therefore fully validated — name *and*
+        arguments) against the current config immediately, so a bad lineup
+        fails here rather than at ``run()`` time.
+        """
+        if not specs:
+            raise ValueError("methods() needs at least one method spec")
+        from repro.experiments.harness import parse_method_spec
+
+        for spec in specs:
+            parse_method_spec(spec, self._config)
+        self._config = self._config.with_overrides(methods=tuple(specs))
+        return self
+
+    # -- generic knobs ----------------------------------------------------
+
+    def workers(self, n: int) -> "Experiment":
+        """Set the simulated cluster size."""
+        return self.set(n_workers=int(n))
+
+    def seed(self, value: int) -> "Experiment":
+        """Set the experiment's root seed."""
+        return self.set(seed=int(value))
+
+    def scale(self, factor: float) -> "Experiment":
+        """Scale wall-clock budget, AdaComm interval, and training-set size."""
+        self._config = _apply_scale(self._config, factor)
+        return self
+
+    def set(self, **overrides: Any) -> "Experiment":
+        """Override arbitrary :class:`ExperimentConfig` fields by name."""
+        self._config = self._config.with_overrides(**overrides)
+        return self
+
+    # -- materialization --------------------------------------------------
+
+    def build(self) -> ExperimentConfig:
+        """Validate and return the composed config."""
+        return self._config.validate()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict of the composed config."""
+        return self.build().to_dict()
+
+    def save(self, path: str) -> str:
+        """Write the composed config to ``path`` as JSON; returns the path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+        return path
+
+    def run(self, record_discrepancy: bool = False):
+        """Run the full method lineup; returns the :class:`RunStore`."""
+        from repro.experiments.harness import run_experiment
+
+        return run_experiment(self.build(), record_discrepancy=record_discrepancy)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        c = self._config
+        return (
+            f"Experiment(name={c.name!r}, model={c.model!r}, dataset={c.dataset!r}, "
+            f"delay={c.delay!r}, methods={c.methods!r}, n_workers={c.n_workers})"
+        )

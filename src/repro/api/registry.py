@@ -1,0 +1,150 @@
+"""The generic plugin registry behind every named component in ``repro``.
+
+A :class:`Registry` is a name → factory mapping with three extras over a
+plain dict: duplicate registrations fail loudly (unless ``overwrite=True``),
+unknown lookups raise a ``ValueError`` that lists the available names, and a
+registry can *lazily populate itself* by importing the modules that register
+its entries — so ``from repro.api import MODELS`` works without importing the
+whole package up front.
+
+Components register themselves at import time, either directly::
+
+    MODELS.register("softmax", SoftmaxRegression)
+
+or as a decorator::
+
+    @DELAYS.register("pareto")
+    class ParetoDelay(DelayDistribution):
+        ...
+
+``filter_kwargs`` is the companion helper that lets callers pass one
+superset of keyword arguments (``n_features``, ``n_classes``, ``rng``, ...)
+to factories with heterogeneous signatures.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Iterator
+
+__all__ = ["Registry", "filter_kwargs"]
+
+
+class Registry:
+    """A name → factory mapping with validation and lazy population.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable singular noun for error messages, e.g. ``"model"``
+        produces ``unknown model 'x'; available: [...]``.
+    populate:
+        Optional zero-argument callable invoked once, before the first
+        lookup, to import the modules that register this registry's entries.
+    """
+
+    def __init__(self, kind: str, populate: Callable[[], None] | None = None):
+        self.kind = kind
+        self._entries: dict[str, Any] = {}
+        self._populate = populate
+        self._populated = populate is None
+
+    # -- registration -----------------------------------------------------
+
+    def register(
+        self, name: str, obj: Any = None, *, overwrite: bool = False
+    ) -> Any:
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        Raises ``ValueError`` on duplicate names unless ``overwrite=True``.
+        Returns ``obj`` (or a decorator when ``obj`` is omitted) so the call
+        can wrap a class or function definition.
+        """
+        if obj is None:
+            def _decorator(target: Any) -> Any:
+                self.register(name, target, overwrite=overwrite)
+                return target
+
+            return _decorator
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{self.kind} name must be a non-empty string, got {name!r}")
+        if name in self._entries and not overwrite:
+            raise ValueError(
+                f"{self.kind} {name!r} already registered; available: {self.names()} "
+                f"(pass overwrite=True to replace)"
+            )
+        self._entries[name] = obj
+        return obj
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name``; raises the standard unknown-name error if absent."""
+        self.get(name)
+        del self._entries[name]
+
+    # -- lookup -----------------------------------------------------------
+
+    def get(self, name: str) -> Any:
+        """Return the entry registered under ``name``."""
+        self._ensure_populated()
+        try:
+            return self._entries[name]
+        except KeyError as err:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; available: {self.names()}"
+            ) from err
+
+    def build(self, name: str, /, **kwargs) -> Any:
+        """Look up the factory for ``name`` and call it with ``kwargs``."""
+        return self.get(name)(**kwargs)
+
+    def build_filtered(self, name: str, /, **kwargs) -> Any:
+        """Like :meth:`build`, but drop kwargs the factory does not accept."""
+        factory = self.get(name)
+        return factory(**filter_kwargs(factory, kwargs))
+
+    def names(self) -> list[str]:
+        """Sorted list of registered names."""
+        self._ensure_populated()
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_populated()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_populated()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry(kind={self.kind!r}, names={self.names()})"
+
+    def _ensure_populated(self) -> None:
+        if not self._populated:
+            # Flip the flag first: population imports modules whose
+            # registrations land here, and those must not recurse.
+            self._populated = True
+            self._populate()
+
+
+def filter_kwargs(fn: Callable, kwargs: dict[str, Any]) -> dict[str, Any]:
+    """Return the subset of ``kwargs`` that ``fn`` can accept by keyword.
+
+    If ``fn`` takes ``**kwargs`` (or its signature cannot be inspected, as
+    for some builtins), everything is passed through unchanged.
+    """
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return dict(kwargs)
+    params = sig.parameters.values()
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+        return dict(kwargs)
+    accepted = {
+        p.name
+        for p in params
+        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    }
+    return {k: v for k, v in kwargs.items() if k in accepted}

@@ -19,6 +19,7 @@ from __future__ import annotations
 import abc
 from typing import Sequence
 
+from repro.api.registries import COMM_SCHEDULES
 from repro.core.adacomm import AdaCommConfig, AdaCommController
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "FixedCommunicationSchedule",
     "SequenceCommunicationSchedule",
     "AdaCommSchedule",
+    "adacomm_schedule",
 ]
 
 
@@ -55,6 +57,7 @@ class CommunicationSchedule(abc.ABC):
         """Short human-readable name used in results and plots."""
 
 
+@COMM_SCHEDULES.register("fixed")
 class FixedCommunicationSchedule(CommunicationSchedule):
     """Constant communication period τ (τ = 1 is fully synchronous SGD)."""
 
@@ -74,6 +77,7 @@ class FixedCommunicationSchedule(CommunicationSchedule):
         return f"FixedCommunicationSchedule(tau={self.tau})"
 
 
+@COMM_SCHEDULES.register("sequence")
 class SequenceCommunicationSchedule(CommunicationSchedule):
     """Explicit period sequence {τ_0, τ_1, ...}; the last value repeats forever."""
 
@@ -134,3 +138,9 @@ class AdaCommSchedule(CommunicationSchedule):
     def tau_history(self) -> list[tuple[float, int]]:
         """(wall_time, τ) pairs at every adaptation event."""
         return list(self.controller.tau_history)
+
+
+@COMM_SCHEDULES.register("adacomm")
+def adacomm_schedule(**kwargs) -> AdaCommSchedule:
+    """Build an :class:`AdaCommSchedule` from :class:`AdaCommConfig` kwargs."""
+    return AdaCommSchedule(AdaCommConfig(**kwargs))

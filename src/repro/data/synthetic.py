@@ -5,6 +5,10 @@ image-like data with 10/100 classes — the drop-in replacement for the CIFAR
 datasets used in the paper (see DESIGN.md, substitution table).  The other
 generators cover regression and a non-linearly-separable spiral task used in
 tests and examples.
+
+The classification generators self-register in the shared
+:data:`repro.api.registries.DATASETS` registry, so experiment configs refer
+to them by name (``dataset="synth_cifar100"``).
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registries import DATASETS
 from repro.utils.seeding import check_random_state
 
 __all__ = [
@@ -64,6 +69,7 @@ class Dataset:
         return self.subset(train_idx), self.subset(test_idx)
 
 
+@DATASETS.register("gaussian_blobs")
 def make_gaussian_blobs(
     n_samples: int,
     n_features: int,
@@ -95,6 +101,7 @@ def make_gaussian_blobs(
     return Dataset(X, y.astype(np.int64), n_classes=n_classes, name=name)
 
 
+@DATASETS.register("synth_cifar10")
 def make_synth_cifar10(
     n_samples: int = 2000,
     n_features: int = 192,
@@ -122,6 +129,7 @@ def make_synth_cifar10(
     )
 
 
+@DATASETS.register("synth_cifar100")
 def make_synth_cifar100(
     n_samples: int = 2000,
     n_features: int = 192,
@@ -141,6 +149,7 @@ def make_synth_cifar100(
     )
 
 
+@DATASETS.register("spirals")
 def make_spirals(
     n_samples: int = 1000,
     n_classes: int = 3,

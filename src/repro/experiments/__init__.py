@@ -9,8 +9,19 @@ ADACOMM) under one config and collects their :class:`RunRecord` trajectories.
 and data series that the benchmark targets print.
 """
 
-from repro.experiments.configs import ExperimentConfig, make_config, available_configs
-from repro.experiments.harness import MethodSpec, run_experiment, run_method, default_methods
+from repro.experiments.configs import (
+    ExperimentConfig,
+    available_configs,
+    config_spec,
+    make_config,
+)
+from repro.experiments.harness import (
+    MethodSpec,
+    default_methods,
+    parse_method_spec,
+    run_experiment,
+    run_method,
+)
 from repro.experiments.tables import (
     format_table,
     accuracy_table,
@@ -23,7 +34,9 @@ __all__ = [
     "ExperimentConfig",
     "make_config",
     "available_configs",
+    "config_spec",
     "MethodSpec",
+    "parse_method_spec",
     "run_experiment",
     "run_method",
     "default_methods",

@@ -1,21 +1,63 @@
 """Command-line entry point: ``python -m repro --config <name>``.
 
-Runs one named experiment (all methods) and prints the paper-style summary:
+Runs one experiment (all methods) and prints the paper-style summary:
 loss-vs-wall-clock checkpoints, time-to-target-loss speed-ups, and the best
 test accuracies; optionally saves the full run store to JSON for plotting.
+
+The experiment is composed declaratively from the ``repro.api`` registries:
+
+* ``--config`` takes a named config *or* a path to a JSON file produced by
+  ``ExperimentConfig.to_dict()`` / ``Experiment.save()``;
+* ``--model`` swaps the model by registry name;
+* ``--set key=value`` (repeatable) overrides any config field, with values
+  parsed as Python literals (``--set n_workers=4 --set delay=pareto``);
+* ``--list {configs,models,datasets,delays,schedules,scalings,lr_schedules}``
+  prints the registered names and exits.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
+import json
+import os
 import sys
 
-from repro.experiments.configs import available_configs, make_config
+from repro.api.registries import all_registries
+from repro.experiments.configs import (
+    ExperimentConfig,
+    _apply_scale,
+    available_configs,
+    make_config,
+)
 from repro.experiments.figures import loss_vs_time_series, summarize_series
 from repro.experiments.harness import run_experiment
 from repro.experiments.tables import accuracy_table, format_table, time_to_loss_table
 
 __all__ = ["build_parser", "main"]
+
+
+def _config_arg(value: str) -> str:
+    """Accept a named config or a path to a JSON config file."""
+    if value in available_configs() or value.endswith(".json") or os.path.exists(value):
+        return value
+    raise argparse.ArgumentTypeError(
+        f"unknown config {value!r}; pass one of {available_configs()} or a JSON file path"
+    )
+
+
+def _parse_override(pair: str) -> tuple[str, object]:
+    """Parse one ``--set key=value`` pair; values are Python literals or strings."""
+    key, sep, raw = pair.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"--set expects key=value, got {pair!r}"
+        )
+    try:
+        value: object = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return key, value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,9 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--config",
         default="vgg_cifar10_fixed_lr",
-        choices=available_configs(),
-        help="named experiment configuration (see repro.experiments.configs)",
+        type=_config_arg,
+        metavar="NAME|PATH.json",
+        help="named experiment configuration (see --list configs) or a JSON config file",
     )
+    parser.add_argument("--model", default=None, metavar="NAME",
+                        help="override the model by registry name (see --list models)")
+    parser.add_argument("--set", dest="overrides", action="append", default=[],
+                        type=_parse_override, metavar="KEY=VALUE",
+                        help="override any config field (repeatable), e.g. --set n_workers=4")
+    parser.add_argument("--list", dest="list_what", default=None,
+                        choices=["configs", *sorted(all_registries())],
+                        help="print the registered names of one component kind and exit")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="multiply the wall-clock budget (e.g. 0.25 for a quick run)")
     parser.add_argument("--seed", type=int, default=None, help="override the config seed")
@@ -41,12 +92,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_config(args: argparse.Namespace) -> ExperimentConfig:
+    """Build the experiment config from --config/--scale/--seed/--model/--set."""
+    if args.config.endswith(".json") or os.path.isfile(args.config):
+        try:
+            with open(args.config, "r", encoding="utf-8") as fh:
+                config = ExperimentConfig.from_dict(json.load(fh))
+        except (OSError, TypeError, ValueError) as err:
+            # unreadable file, missing/mistyped fields, bad JSON, bad names
+            raise SystemExit(f"error: cannot load config {args.config!r}: {err}") from err
+        config = _apply_scale(config, args.scale)
+    else:
+        config = make_config(args.config, scale=args.scale)
+
+    overrides = dict(args.overrides)
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.model is not None:
+        overrides["model"] = args.model
+    if overrides:
+        try:
+            config = config.with_overrides(**overrides)
+        except TypeError as err:
+            raise SystemExit(f"error: invalid --set override: {err}") from err
+    try:
+        return config.validate()
+    except ValueError as err:
+        raise SystemExit(f"error: {err}") from err
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    overrides = {} if args.seed is None else {"seed": args.seed}
-    config = make_config(args.config, scale=args.scale, **overrides)
-    print(f"running experiment {config.name!r}: {config.n_workers} workers, "
-          f"alpha={config.alpha}, budget={config.wall_time_budget:.0f}s, lr={config.lr}")
+
+    if args.list_what is not None:
+        names = (
+            available_configs()
+            if args.list_what == "configs"
+            else all_registries()[args.list_what].names()
+        )
+        print("\n".join(names))
+        return 0
+
+    config = _load_config(args)
+    print(f"running experiment {config.name!r}: model={config.model}, "
+          f"{config.n_workers} workers, alpha={config.alpha}, "
+          f"budget={config.wall_time_budget:.0f}s, lr={config.lr}")
 
     store = run_experiment(config)
 

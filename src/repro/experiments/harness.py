@@ -1,39 +1,51 @@
 """Running a full paper-style experiment: several methods on one workload.
 
-``run_experiment(config)`` executes fully synchronous SGD (τ=1), the fixed-τ
-PASGD baselines, and ADACOMM on the same dataset / delay model / learning-rate
-schedule and collects all trajectories into a :class:`RunStore`, from which
-the table/figure formatters extract the numbers the paper reports.
+``run_experiment(config)`` executes the configured method lineup — by default
+fully synchronous SGD (τ=1), the fixed-τ PASGD baselines, and ADACOMM — on
+the same dataset / delay model / learning-rate schedule and collects all
+trajectories into a :class:`RunStore`, from which the table/figure formatters
+extract the numbers the paper reports.
+
+Every component is resolved *by name* through the ``repro.api`` registries:
+the model from ``MODELS``, the compute-time distribution from ``DELAYS``
+(with parameters derived from the config's mean/std knobs by moment
+matching), the learning-rate schedule from ``LR_SCHEDULES``, and each method
+spec string ("sync-sgd", "pasgd-tau20", "adacomm", or
+"<schedule>:key=value,...") from ``COMM_SCHEDULES``.
 """
 
 from __future__ import annotations
 
+import ast
+import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.adacomm import AdaCommConfig
-from repro.core.schedules import (
-    AdaCommSchedule,
-    CommunicationSchedule,
-    FixedCommunicationSchedule,
-)
+from repro.api.registries import COMM_SCHEDULES, DELAYS, LR_SCHEDULES, MODELS
+from repro.api.registry import filter_kwargs
+from repro.core.schedules import CommunicationSchedule
 from repro.core.trainer import PASGDTrainer, TrainerConfig
 from repro.data.synthetic import Dataset
 from repro.distributed.cluster import SimulatedCluster
 from repro.experiments.configs import ExperimentConfig
-from repro.models.mlp import MLP
 from repro.optim.block_momentum import BlockMomentum
-from repro.optim.lr_schedules import ConstantLR, LRSchedule, TauGatedStepLR
-from repro.runtime.distributions import ShiftedExponentialDelay, ConstantDelay, DelayDistribution
+from repro.optim.lr_schedules import LRSchedule
+from repro.runtime.distributions import DelayDistribution
 from repro.runtime.network import NetworkModel
 from repro.runtime.simulator import RuntimeSimulator
 from repro.utils.logging import get_logger
 from repro.utils.results import RunRecord, RunStore
 from repro.utils.seeding import SeedSequence
 
-__all__ = ["MethodSpec", "default_methods", "run_method", "run_experiment"]
+__all__ = [
+    "MethodSpec",
+    "parse_method_spec",
+    "default_methods",
+    "run_method",
+    "run_experiment",
+]
 
 logger = get_logger("experiments.harness")
 
@@ -46,48 +58,196 @@ class MethodSpec:
     schedule_fn: Callable[[], CommunicationSchedule]
 
 
+def _split_top_level(argstr: str) -> list[str]:
+    """Split on commas that are not nested inside (), [] or {}."""
+    parts, depth, current = [], 0, []
+    for char in argstr:
+        if char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_spec_kwargs(argstr: str) -> dict:
+    """Parse ``key=value,key=value`` with Python-literal values (str fallback).
+
+    Commas inside brackets belong to the value, so list-valued arguments like
+    ``sequence:taus=[8,4,1]`` parse as one kwarg.
+    """
+    kwargs: dict = {}
+    for part in filter(None, _split_top_level(argstr)):
+        key, sep, raw = part.partition("=")
+        if not sep:
+            raise ValueError(f"method spec argument {part!r} is not of the form key=value")
+        try:
+            kwargs[key.strip()] = ast.literal_eval(raw.strip())
+        except (ValueError, SyntaxError):
+            kwargs[key.strip()] = raw.strip()
+    return kwargs
+
+
+def parse_method_spec(spec: "str | MethodSpec", config: ExperimentConfig) -> MethodSpec:
+    """Resolve a method spec string into a :class:`MethodSpec`.
+
+    Accepted forms:
+
+    * ``"sync-sgd"`` — fixed τ = 1;
+    * ``"pasgd-tau<N>"`` — fixed τ = N;
+    * ``"adacomm"`` — ADACOMM with the config's interval / initial τ;
+    * ``"<name>"`` or ``"<name>:key=value,..."`` — any schedule registered in
+      ``COMM_SCHEDULES`` (e.g. ``"fixed:tau=4"``, ``"adacomm:initial_tau=50"``).
+    """
+    if isinstance(spec, MethodSpec):
+        return spec
+    name, _, argstr = spec.partition(":")
+    kwargs = _parse_spec_kwargs(argstr)
+    if name == "sync-sgd":
+        kwargs.setdefault("tau", 1)
+        name = "fixed"
+    elif name.startswith("pasgd-tau"):
+        kwargs.setdefault("tau", int(name[len("pasgd-tau"):]))
+        name = "fixed"
+    elif name == "pasgd":
+        name = "fixed"
+    elif name == "adacomm":
+        kwargs.setdefault("initial_tau", config.adacomm_initial_tau)
+        kwargs.setdefault("interval_length", config.adacomm_interval)
+        kwargs.setdefault("couple_lr", True)
+    factory = COMM_SCHEDULES.get(name)  # raises with available names if unknown
+
+    def schedule_fn(factory=factory, kwargs=dict(kwargs)) -> CommunicationSchedule:
+        return factory(**kwargs)
+
+    # One throwaway instance gives the canonical label ("sync-sgd",
+    # "pasgd-tau20", "adacomm", ...); schedules are cheap to construct.  It
+    # also validates the arguments up front, where the spec string is known.
+    try:
+        label = schedule_fn().label
+    except TypeError as err:
+        raise ValueError(
+            f"method spec {spec!r} has missing or invalid arguments ({err}); "
+            f"e.g. 'pasgd-tau8' or 'fixed:tau=8'"
+        ) from err
+    return MethodSpec(label=label, schedule_fn=schedule_fn)
+
+
 def default_methods(config: ExperimentConfig) -> list[MethodSpec]:
-    """The paper's method lineup: τ=1 baseline, fixed-τ baselines, ADACOMM."""
-    methods = [
-        MethodSpec(
-            label="sync-sgd" if tau == 1 else f"pasgd-tau{tau}",
-            schedule_fn=(lambda t=tau: FixedCommunicationSchedule(t)),
-        )
-        for tau in config.fixed_taus
-    ]
-    methods.append(
-        MethodSpec(
-            label="adacomm",
-            schedule_fn=lambda: AdaCommSchedule(
-                AdaCommConfig(
-                    initial_tau=config.adacomm_initial_tau,
-                    interval_length=config.adacomm_interval,
-                    couple_lr=True,
-                )
-            ),
-        )
-    )
-    return methods
+    """The configured method lineup.
+
+    ``config.methods`` names the methods explicitly; when it is ``None`` the
+    paper's default lineup is used: one fixed-τ baseline per ``fixed_taus``
+    entry (τ=1 is fully synchronous SGD) plus ADACOMM.
+    """
+    if config.methods is not None:
+        specs: Sequence[str] = config.methods
+    else:
+        specs = [
+            "sync-sgd" if tau == 1 else f"pasgd-tau{tau}" for tau in config.fixed_taus
+        ] + ["adacomm"]
+    return [parse_method_spec(spec, config) for spec in specs]
 
 
 def _build_compute_distribution(config: ExperimentConfig) -> DelayDistribution:
-    """Compute-time distribution: shifted exponential with the configured mean."""
-    if config.compute_time_std_fraction <= 0:
-        return ConstantDelay(config.compute_time)
-    scale = config.compute_time * config.compute_time_std_fraction
-    shift = config.compute_time - scale
-    if shift < 0:
-        scale = config.compute_time
-        shift = 0.0
-    return ShiftedExponentialDelay(shift=shift, scale=scale)
+    """Resolve the compute-time distribution from the config's ``delay`` spec.
+
+    A dict spec ``{"kind": name, **params}`` is built verbatim from the
+    ``DELAYS`` registry.  A bare name derives the distribution's parameters
+    from ``compute_time`` (mean Y) and ``compute_time_std_fraction`` (std/Y)
+    by moment matching, so every named delay — including the heavy-tailed
+    ``pareto`` straggler model — plugs into the same two config knobs.
+    """
+    spec = config.delay
+    if isinstance(spec, dict):
+        params = dict(spec)
+        try:
+            kind = params.pop("kind")
+        except KeyError:
+            raise ValueError(f"delay spec dict must have a 'kind' key, got {spec!r}") from None
+        return DELAYS.build(kind, **params)
+
+    mean = config.compute_time
+    std = config.compute_time_std_fraction * mean
+    DELAYS.get(spec)  # raise the standard unknown-name error first
+    if spec == "constant" or std <= 0:
+        return DELAYS.build("constant", value=mean)
+    if spec == "shifted_exponential":
+        scale = min(std, mean)  # shift = mean - scale must stay non-negative
+        return DELAYS.build(spec, shift=mean - scale, scale=scale)
+    if spec == "exponential":
+        return DELAYS.build(spec, scale=mean)
+    if spec == "uniform":
+        half_width = min(math.sqrt(3.0) * std, mean)
+        return DELAYS.build(spec, low=mean - half_width, high=mean + half_width)
+    if spec == "pareto":
+        # Solve E = a s/(a-1), Var = (f E)^2  =>  a(a-2) = 1/f^2.
+        f = std / mean
+        shape = 1.0 + math.sqrt(1.0 + 1.0 / f**2)
+        return DELAYS.build(spec, scale=mean * (shape - 1.0) / shape, alpha=shape)
+    raise ValueError(
+        f"delay distribution {spec!r} has no moment-matching rule; pass an explicit "
+        f"spec dict like {{'kind': {spec!r}, ...params}} instead"
+    )
 
 
 def _build_lr_schedule(config: ExperimentConfig) -> LRSchedule:
-    if config.variable_lr:
-        return TauGatedStepLR(
-            lr=config.lr, milestones=config.lr_decay_milestones, gamma=config.lr_decay_gamma
+    """Resolve the LR schedule: ``lr_schedule`` name, else the ``variable_lr`` flag."""
+    if config.lr_schedule is not None:
+        milestones = tuple(config.lr_decay_milestones)
+        return LR_SCHEDULES.build_filtered(
+            config.lr_schedule,
+            lr=config.lr,
+            milestones=milestones,
+            gamma=config.lr_decay_gamma,
+            step_epochs=milestones[0] if milestones else 1.0,
         )
-    return ConstantLR(config.lr)
+    if config.variable_lr:
+        return LR_SCHEDULES.build(
+            "tau_gated",
+            lr=config.lr,
+            milestones=config.lr_decay_milestones,
+            gamma=config.lr_decay_gamma,
+        )
+    return LR_SCHEDULES.build("constant", lr=config.lr)
+
+
+def _build_model_fn(
+    config: ExperimentConfig, model_seed: int, n_features: int | None = None
+) -> Callable:
+    """Model factory resolved from the ``MODELS`` registry.
+
+    Builders have heterogeneous signatures (CNNs take no ``hidden_sizes``,
+    linear models no ``hidden_sizes`` either), so the standard kwargs are
+    filtered per builder; ``config.model_kwargs`` entries are passed last and
+    unconditionally, so an unknown name there fails loudly.
+
+    ``n_features`` is the feature count of the *built* dataset, which wins
+    over ``config.n_features``: generators with an intrinsic dimensionality
+    (e.g. ``spirals``) ignore the config knob, and the model must match the
+    data it will actually see.
+    """
+    builder = MODELS.get(config.model)
+    kwargs = filter_kwargs(
+        builder,
+        dict(
+            n_features=config.n_features if n_features is None else n_features,
+            n_classes=config.n_classes,
+            hidden_sizes=config.hidden_sizes,
+            rng=model_seed,
+        ),
+    )
+    kwargs.update(config.model_kwargs)
+
+    def model_fn():
+        return builder(**kwargs)
+
+    return model_fn
 
 
 def _split_dataset(config: ExperimentConfig, rng: np.random.Generator) -> tuple[Dataset, Dataset]:
@@ -98,12 +258,17 @@ def _split_dataset(config: ExperimentConfig, rng: np.random.Generator) -> tuple[
 
 def run_method(
     config: ExperimentConfig,
-    method: MethodSpec,
+    method: "MethodSpec | str",
     train_set: Dataset | None = None,
     test_set: Dataset | None = None,
     record_discrepancy: bool = False,
 ) -> RunRecord:
-    """Run one method under ``config`` and return its trajectory."""
+    """Run one method under ``config`` and return its trajectory.
+
+    ``method`` may be a :class:`MethodSpec` or a method spec string such as
+    ``"pasgd-tau20"`` (see :func:`parse_method_spec`).
+    """
+    method = parse_method_spec(method, config)
     seeds = SeedSequence(config.seed)
     if train_set is None or test_set is None:
         train_set, test_set = _split_dataset(config, seeds.generator())
@@ -114,15 +279,9 @@ def run_method(
     )
     runtime = RuntimeSimulator(compute, network, config.n_workers, rng=seeds.generator())
 
-    model_seed = seeds.spawn()
-
-    def model_fn() -> MLP:
-        return MLP(
-            n_features=config.n_features,
-            n_classes=config.n_classes,
-            hidden_sizes=config.hidden_sizes,
-            rng=model_seed,
-        )
+    model_fn = _build_model_fn(
+        config, model_seed=seeds.spawn(), n_features=train_set.n_features
+    )
 
     block = BlockMomentum(config.block_momentum_beta) if config.block_momentum_beta > 0 else None
     cluster = SimulatedCluster(
@@ -158,6 +317,8 @@ def run_method(
     record.config.update(
         {
             "experiment": config.name,
+            "model": config.model,
+            "dataset": config.dataset,
             "alpha": config.alpha,
             "n_workers": config.n_workers,
             "block_momentum": config.block_momentum_beta,
@@ -170,14 +331,19 @@ def run_method(
 
 def run_experiment(
     config: ExperimentConfig,
-    methods: Sequence[MethodSpec] | None = None,
+    methods: Sequence["MethodSpec | str"] | None = None,
     record_discrepancy: bool = False,
 ) -> RunStore:
     """Run all methods on a shared dataset split and collect their records."""
     seeds = SeedSequence(config.seed)
     train_set, test_set = _split_dataset(config, seeds.generator())
     store = RunStore()
-    for method in methods or default_methods(config):
+    resolved = (
+        [parse_method_spec(m, config) for m in methods]
+        if methods is not None
+        else default_methods(config)
+    )
+    for method in resolved:
         logger.info("running %s on %s", method.label, config.name)
         record = run_method(
             config,

@@ -1,28 +1,42 @@
-"""Named model registry used by the experiment configs and example scripts."""
+"""Named model registry used by the experiment configs and example scripts.
+
+Backed by the shared :data:`repro.api.registries.MODELS` registry.  Builders
+are registered with *inspectable signatures* so the harness can hand every
+builder one superset of keyword arguments (``n_features``, ``n_classes``,
+``hidden_sizes``, ``rng``) and let :func:`repro.api.filter_kwargs` drop the
+ones a particular architecture does not take.
+
+The CNN builders additionally adapt their input geometry: given a flat
+feature count they infer an ``(in_channels, image_size)`` pair so any
+registered dataset — not just the 3×8×8 synthetic CIFAR stand-in — can feed
+them.
+"""
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
-from repro.models.cnn import resnet_lite_cnn, vgg_lite_cnn
+from repro.api.registries import MODELS
+from repro.models.cnn import SmallCNN, resnet_lite_cnn, vgg_lite_cnn
 from repro.models.linear import LinearRegressionModel, SoftmaxRegression
 from repro.models.mlp import MLP, resnet_lite_mlp, vgg_lite_mlp
 
-__all__ = ["build_model", "available_models", "register_model"]
-
-_BUILDERS: dict[str, Callable] = {}
+__all__ = ["build_model", "available_models", "register_model", "infer_image_geometry"]
 
 
-def register_model(name: str, builder: Callable) -> None:
-    """Register a model builder ``(**kwargs) -> Module`` under ``name``."""
-    if name in _BUILDERS:
-        raise KeyError(f"model {name!r} already registered")
-    _BUILDERS[name] = builder
+def register_model(name: str, builder: Callable, *, overwrite: bool = False) -> None:
+    """Register a model builder ``(**kwargs) -> Module`` under ``name``.
+
+    Raises ``ValueError`` (listing the registered names) on duplicates unless
+    ``overwrite=True``.
+    """
+    MODELS.register(name, builder, overwrite=overwrite)
 
 
 def available_models() -> list[str]:
     """Names accepted by :func:`build_model`."""
-    return sorted(_BUILDERS)
+    return MODELS.names()
 
 
 def build_model(name: str, **kwargs):
@@ -34,17 +48,59 @@ def build_model(name: str, **kwargs):
     >>> model.num_parameters() > 0
     True
     """
-    try:
-        builder = _BUILDERS[name]
-    except KeyError as err:
-        raise ValueError(f"unknown model {name!r}; available: {available_models()}") from err
-    return builder(**kwargs)
+    return MODELS.build(name, **kwargs)
 
 
-register_model("softmax", lambda **kw: SoftmaxRegression(**kw))
-register_model("linear_regression", lambda **kw: LinearRegressionModel(**kw))
-register_model("mlp", lambda **kw: MLP(**kw))
-register_model("vgg_lite_mlp", lambda **kw: vgg_lite_mlp(**kw))
-register_model("resnet_lite_mlp", lambda **kw: resnet_lite_mlp(**kw))
-register_model("vgg_lite_cnn", lambda **kw: vgg_lite_cnn(**kw))
-register_model("resnet_lite_cnn", lambda **kw: resnet_lite_cnn(**kw))
+def infer_image_geometry(n_features: int) -> tuple[int, int]:
+    """Infer an ``(in_channels, image_size)`` pair from a flat feature count.
+
+    Tries RGB-like 3-channel square images first, then single-channel ones;
+    raises ``ValueError`` when ``n_features`` fits neither, so CNN models fail
+    with a clear message instead of a reshape error deep in the forward pass.
+    """
+    for channels in (3, 1):
+        if n_features % channels:
+            continue
+        size = math.isqrt(n_features // channels)
+        if size >= 2 and channels * size * size == n_features:
+            return channels, size
+    raise ValueError(
+        f"cannot view {n_features} features as a square image "
+        f"(need 3*s*s or 1*s*s with s >= 2); use an MLP model or adjust n_features"
+    )
+
+
+def _adaptive_cnn(channels: tuple[int, ...]) -> Callable:
+    def build(
+        n_features: int | None = None,
+        n_classes: int = 10,
+        image_size: int | None = None,
+        in_channels: int | None = None,
+        rng=None,
+    ) -> SmallCNN:
+        # Explicit geometry wins; otherwise infer it from the flat feature
+        # count; otherwise fall back to the 3×8×8 synthetic-CIFAR default.
+        if image_size is None and in_channels is None and n_features is not None:
+            in_channels, image_size = infer_image_geometry(n_features)
+        in_channels = 3 if in_channels is None else in_channels
+        image_size = 8 if image_size is None else image_size
+        # Drop pooling stages that would shrink the image below 1×1.
+        max_stages = max(1, int(math.log2(image_size)))
+        return SmallCNN(
+            in_channels=in_channels,
+            image_size=image_size,
+            channels=channels[:max_stages],
+            n_classes=n_classes,
+            rng=rng,
+        )
+
+    return build
+
+
+register_model("softmax", SoftmaxRegression)
+register_model("linear_regression", LinearRegressionModel)
+register_model("mlp", MLP)
+register_model("vgg_lite_mlp", vgg_lite_mlp)
+register_model("resnet_lite_mlp", resnet_lite_mlp)
+register_model("vgg_lite_cnn", _adaptive_cnn(channels=(16, 32)))
+register_model("resnet_lite_cnn", _adaptive_cnn(channels=(8, 8)))

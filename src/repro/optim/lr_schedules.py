@@ -14,6 +14,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
+from repro.api.registries import LR_SCHEDULES
+
 __all__ = [
     "LRSchedule",
     "ConstantLR",
@@ -37,6 +39,7 @@ class LRSchedule(abc.ABC):
         """Learning rate at the start of training."""
 
 
+@LR_SCHEDULES.register("constant")
 @dataclass(frozen=True)
 class ConstantLR(LRSchedule):
     """Fixed learning rate."""
@@ -55,6 +58,7 @@ class ConstantLR(LRSchedule):
         return self.lr
 
 
+@LR_SCHEDULES.register("step")
 @dataclass(frozen=True)
 class StepDecayLR(LRSchedule):
     """Multiply the learning rate by ``gamma`` every ``step_epochs`` epochs."""
@@ -76,6 +80,7 @@ class StepDecayLR(LRSchedule):
         return self.lr
 
 
+@LR_SCHEDULES.register("multistep")
 @dataclass(frozen=True)
 class MultiStepLR(LRSchedule):
     """Decay by ``gamma`` at each epoch milestone (the paper's 80/120/160/200)."""
@@ -101,6 +106,7 @@ class MultiStepLR(LRSchedule):
         return self.lr
 
 
+@LR_SCHEDULES.register("tau_gated")
 @dataclass
 class TauGatedStepLR(LRSchedule):
     """MultiStep decay that is postponed while the communication period exceeds 1.
@@ -140,15 +146,6 @@ class TauGatedStepLR(LRSchedule):
 
 
 def make_lr_schedule(name: str, **kwargs) -> LRSchedule:
-    """Factory: ``constant``, ``step``, ``multistep``, or ``tau_gated``."""
-    registry = {
-        "constant": ConstantLR,
-        "step": StepDecayLR,
-        "multistep": MultiStepLR,
-        "tau_gated": TauGatedStepLR,
-    }
-    try:
-        cls = registry[name]
-    except KeyError as err:
-        raise ValueError(f"unknown LR schedule {name!r}; available: {sorted(registry)}") from err
-    return cls(**kwargs)
+    """Factory: ``constant``, ``step``, ``multistep``, or ``tau_gated``
+    (backed by the shared ``LR_SCHEDULES`` registry)."""
+    return LR_SCHEDULES.build(name, **kwargs)

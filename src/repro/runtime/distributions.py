@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registries import DELAYS
 from repro.utils.seeding import check_random_state
 
 __all__ = [
@@ -62,6 +63,7 @@ class DelayDistribution(abc.ABC):
         return AveragedDelay(self, tau)
 
 
+@DELAYS.register("constant")
 @dataclass(frozen=True)
 class ConstantDelay(DelayDistribution):
     """Deterministic delay — the "simplest case" of Section 3.2."""
@@ -84,6 +86,7 @@ class ConstantDelay(DelayDistribution):
         return np.full(size, self.value, dtype=float)
 
 
+@DELAYS.register("exponential")
 @dataclass(frozen=True)
 class ExponentialDelay(DelayDistribution):
     """Exponential delay with mean ``scale`` — the straggler model of Section 3.2."""
@@ -107,6 +110,7 @@ class ExponentialDelay(DelayDistribution):
         return gen.exponential(self.scale, size=size)
 
 
+@DELAYS.register("shifted_exponential")
 @dataclass(frozen=True)
 class ShiftedExponentialDelay(DelayDistribution):
     """``shift + Exp(scale)``: a minimum compute time plus exponential straggling.
@@ -138,6 +142,7 @@ class ShiftedExponentialDelay(DelayDistribution):
         return self.shift + gen.exponential(self.scale, size=size)
 
 
+@DELAYS.register("uniform")
 @dataclass(frozen=True)
 class UniformDelay(DelayDistribution):
     """Uniform delay on ``[low, high]``."""
@@ -162,6 +167,7 @@ class UniformDelay(DelayDistribution):
         return gen.uniform(self.low, self.high, size=size)
 
 
+@DELAYS.register("pareto")
 @dataclass(frozen=True)
 class ParetoDelay(DelayDistribution):
     """Pareto (heavy-tailed) delay with minimum ``scale`` and shape ``alpha > 2``.
@@ -230,27 +236,12 @@ class AveragedDelay(DelayDistribution):
         return f"AveragedDelay(base={self.base!r}, tau={self.tau})"
 
 
-_REGISTRY = {
-    "constant": ConstantDelay,
-    "exponential": ExponentialDelay,
-    "shifted_exponential": ShiftedExponentialDelay,
-    "uniform": UniformDelay,
-    "pareto": ParetoDelay,
-}
-
-
 def make_distribution(name: str, **kwargs) -> DelayDistribution:
-    """Factory for delay distributions by name.
+    """Factory for delay distributions by name (the shared ``DELAYS`` registry).
 
     Examples
     --------
     >>> make_distribution("exponential", scale=1.0).mean
     1.0
     """
-    try:
-        cls = _REGISTRY[name]
-    except KeyError as err:
-        raise ValueError(
-            f"unknown delay distribution {name!r}; available: {sorted(_REGISTRY)}"
-        ) from err
-    return cls(**kwargs)
+    return DELAYS.build(name, **kwargs)

@@ -20,6 +20,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.api.registries import NETWORK_SCALINGS
 from repro.runtime.distributions import ConstantDelay, DelayDistribution
 from repro.utils.seeding import check_random_state
 
@@ -33,18 +34,21 @@ __all__ = [
 ]
 
 
+@NETWORK_SCALINGS.register("constant")
 def constant_scaling(m: int) -> float:
     """``s(m) = 1``: broadcast cost independent of cluster size."""
     _validate_m(m)
     return 1.0
 
 
+@NETWORK_SCALINGS.register("parameter_server")
 def parameter_server_scaling(m: int) -> float:
     """``s(m) = m``: every worker pushes/pulls through one central server link."""
     _validate_m(m)
     return float(m)
 
 
+@NETWORK_SCALINGS.register("reduction_tree")
 def reduction_tree_scaling(m: int) -> float:
     """``s(m) = 2 log2(m)`` (with s(1)=1): the FireCaffe-style reduction tree
     the paper cites as the parameter-server example."""
@@ -54,6 +58,7 @@ def reduction_tree_scaling(m: int) -> float:
     return 2.0 * math.log2(m)
 
 
+@NETWORK_SCALINGS.register("ring_allreduce")
 def ring_allreduce_scaling(m: int) -> float:
     """``s(m) = 2 (m-1)/m``: bandwidth-optimal ring all-reduce."""
     _validate_m(m)
@@ -67,20 +72,9 @@ def _validate_m(m: int) -> None:
         raise ValueError(f"number of workers m must be a positive integer, got {m!r}")
 
 
-_SCALINGS: dict[str, Callable[[int], float]] = {
-    "constant": constant_scaling,
-    "parameter_server": parameter_server_scaling,
-    "reduction_tree": reduction_tree_scaling,
-    "ring_allreduce": ring_allreduce_scaling,
-}
-
-
 def make_scaling(name: str) -> Callable[[int], float]:
-    """Look up a scaling function ``s(m)`` by name."""
-    try:
-        return _SCALINGS[name]
-    except KeyError as err:
-        raise ValueError(f"unknown scaling {name!r}; available: {sorted(_SCALINGS)}") from err
+    """Look up a scaling function ``s(m)`` by name (the ``NETWORK_SCALINGS`` registry)."""
+    return NETWORK_SCALINGS.get(name)
 
 
 @dataclass
