@@ -1,0 +1,140 @@
+"""Wall-clock speedup of the vectorized worker-bank backend over the loop.
+
+Times the same seeded PASGD workload — a dense MLP on synthetic data, the
+hot path of the paper's large-m sweeps (Figs. 12–14) — on both execution
+backends at several cluster sizes, checks that the two backends produce the
+same trajectory, and writes the results to ``BENCH_backend.json`` so the
+performance trajectory is tracked across PRs.
+
+Runs standalone (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py --workers 2 --rounds 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+# Allow running without PYTHONPATH=src.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.data.synthetic import make_gaussian_blobs
+from repro.distributed.cluster import SimulatedCluster
+from repro.models.mlp import MLP
+from repro.runtime.distributions import ConstantDelay
+from repro.runtime.network import NetworkModel
+from repro.runtime.simulator import RuntimeSimulator
+
+N_FEATURES = 32
+N_CLASSES = 10
+HIDDEN = (64, 32)
+BATCH_SIZE = 8
+LR = 0.05
+MOMENTUM = 0.9
+SEED = 11
+
+
+def build_cluster(backend: str, n_workers: int) -> SimulatedCluster:
+    dataset = make_gaussian_blobs(
+        n_samples=max(50 * n_workers, 800),
+        n_features=N_FEATURES,
+        n_classes=N_CLASSES,
+        class_sep=1.0,
+        rng=3,
+    )
+    runtime = RuntimeSimulator(
+        ConstantDelay(1.0), NetworkModel(2.0, "constant"), n_workers=n_workers, rng=0
+    )
+
+    def model_fn():
+        return MLP(N_FEATURES, N_CLASSES, hidden_sizes=HIDDEN, rng=42)
+
+    return SimulatedCluster(
+        model_fn=model_fn,
+        dataset=dataset,
+        runtime=runtime,
+        n_workers=n_workers,
+        batch_size=BATCH_SIZE,
+        lr=LR,
+        momentum=MOMENTUM,
+        weight_decay=1e-4,
+        seed=SEED,
+        backend=backend,
+    )
+
+
+def time_backend(backend: str, n_workers: int, rounds: int, tau: int, repeats: int):
+    """Best-of-``repeats`` wall-clock time and the final loss (for parity checks)."""
+    best, final_loss = float("inf"), float("nan")
+    for _ in range(repeats):
+        cluster = build_cluster(backend, n_workers)
+        start = time.perf_counter()
+        for _ in range(rounds):
+            final_loss = cluster.run_round(tau)
+        best = min(best, time.perf_counter() - start)
+    return best, final_loss
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", default="4,8,16",
+                        help="comma-separated cluster sizes to benchmark")
+    parser.add_argument("--rounds", type=int, default=6, help="PASGD rounds per run")
+    parser.add_argument("--tau", type=int, default=10, help="local steps per round")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats (best-of is reported)")
+    parser.add_argument("--out", default="BENCH_backend.json",
+                        help="path of the JSON results file")
+    args = parser.parse_args(argv)
+
+    worker_counts = [int(m) for m in args.workers.split(",")]
+    results = []
+    print(f"backend speedup: MLP{HIDDEN} on {N_FEATURES} features, "
+          f"batch {BATCH_SIZE}, {args.rounds} rounds x tau={args.tau}")
+    print(f"{'m':>4} {'loop (s)':>10} {'vectorized (s)':>15} {'speedup':>8}")
+    for m in worker_counts:
+        loop_s, loop_loss = time_backend("loop", m, args.rounds, args.tau, args.repeats)
+        vec_s, vec_loss = time_backend("vectorized", m, args.rounds, args.tau, args.repeats)
+        if not np.isclose(loop_loss, vec_loss, atol=1e-6):
+            raise SystemExit(
+                f"backend mismatch at m={m}: loop loss {loop_loss} vs vectorized {vec_loss}"
+            )
+        speedup = loop_s / vec_s
+        results.append(
+            {
+                "n_workers": m,
+                "loop_seconds": round(loop_s, 6),
+                "vectorized_seconds": round(vec_s, 6),
+                "speedup": round(speedup, 3),
+                "final_loss": round(float(vec_loss), 8),
+            }
+        )
+        print(f"{m:>4} {loop_s:>10.3f} {vec_s:>15.3f} {speedup:>7.1f}x")
+
+    payload = {
+        "benchmark": "bench_backend_speedup",
+        "model": f"mlp{HIDDEN}",
+        "n_features": N_FEATURES,
+        "batch_size": BATCH_SIZE,
+        "rounds": args.rounds,
+        "tau": args.tau,
+        "repeats": args.repeats,
+        "results": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

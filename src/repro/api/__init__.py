@@ -31,6 +31,7 @@ import-cycle-free with the subpackages that register into it.
 from __future__ import annotations
 
 from repro.api.registries import (
+    BACKENDS,
     COMM_SCHEDULES,
     DATASETS,
     DELAYS,
@@ -50,6 +51,7 @@ __all__ = [
     "NETWORK_SCALINGS",
     "COMM_SCHEDULES",
     "LR_SCHEDULES",
+    "BACKENDS",
     "all_registries",
     "Experiment",
 ]

@@ -26,6 +26,7 @@ import json
 from typing import Any
 
 from repro.api.registries import (
+    BACKENDS,
     DATASETS,
     DELAYS,
     LR_SCHEDULES,
@@ -93,6 +94,13 @@ class Experiment:
         """Select a registered learning-rate schedule by name."""
         LR_SCHEDULES.get(name)
         self._config = self._config.with_overrides(lr_schedule=name)
+        return self
+
+    def backend(self, name: str) -> "Experiment":
+        """Select the worker-execution backend ("auto", "loop", "vectorized")."""
+        if name != "auto":
+            BACKENDS.get(name)
+        self._config = self._config.with_overrides(backend=name)
         return self
 
     def methods(self, *specs: str) -> "Experiment":

@@ -11,6 +11,8 @@ registry                  registered by                           example names
 ``NETWORK_SCALINGS``      ``repro.runtime.network``               ``ring_allreduce``
 ``COMM_SCHEDULES``        ``repro.core.schedules``                ``adacomm``
 ``LR_SCHEDULES``          ``repro.optim.lr_schedules``            ``tau_gated``
+``BACKENDS``              ``repro.distributed.backends`` /        ``loop``, ``vectorized``
+                          ``repro.distributed.worker_bank``
 ========================  ======================================  =========================
 
 Each registry lazily imports its defining module on first lookup, so the
@@ -31,6 +33,7 @@ __all__ = [
     "NETWORK_SCALINGS",
     "COMM_SCHEDULES",
     "LR_SCHEDULES",
+    "BACKENDS",
     "all_registries",
 ]
 
@@ -51,6 +54,10 @@ COMM_SCHEDULES = Registry(
     "communication schedule", populate=_importer("repro.core.schedules")
 )
 LR_SCHEDULES = Registry("LR schedule", populate=_importer("repro.optim.lr_schedules"))
+BACKENDS = Registry(
+    "execution backend",
+    populate=_importer("repro.distributed.backends", "repro.distributed.worker_bank"),
+)
 
 
 def all_registries() -> dict[str, Registry]:
@@ -62,4 +69,5 @@ def all_registries() -> dict[str, Registry]:
         "scalings": NETWORK_SCALINGS,
         "schedules": COMM_SCHEDULES,
         "lr_schedules": LR_SCHEDULES,
+        "backends": BACKENDS,
     }

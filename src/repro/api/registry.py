@@ -124,9 +124,15 @@ class Registry:
     def _ensure_populated(self) -> None:
         if not self._populated:
             # Flip the flag first: population imports modules whose
-            # registrations land here, and those must not recurse.
+            # registrations land here, and those must not recurse.  On
+            # failure, reset it so the next lookup re-raises the root cause
+            # instead of reporting a misleading empty registry.
             self._populated = True
-            self._populate()
+            try:
+                self._populate()
+            except BaseException:
+                self._populated = False
+                raise
 
 
 def filter_kwargs(fn: Callable, kwargs: dict[str, Any]) -> dict[str, Any]:

@@ -32,6 +32,7 @@ from repro.core.schedules import CommunicationSchedule
 from repro.distributed.cluster import SimulatedCluster
 from repro.nn.layers import Module
 from repro.nn.losses import accuracy as accuracy_metric
+from repro.nn.tensor import no_grad
 from repro.optim.lr_schedules import ConstantLR, LRSchedule
 from repro.utils.logging import get_logger
 from repro.utils.results import MetricPoint, RunRecord
@@ -152,7 +153,9 @@ class PASGDTrainer:
             was_training = model.training
             model.eval()
             try:
-                return float(model.loss(Xe, ye).item())
+                # Evaluation never calls backward(); skip graph construction.
+                with no_grad():
+                    return float(model.loss(Xe, ye).item())
             finally:
                 model.train(was_training)
 
@@ -167,7 +170,8 @@ class PASGDTrainer:
             was_training = model.training
             model.eval()
             try:
-                return accuracy_metric(model(Xe), ye)
+                with no_grad():
+                    return accuracy_metric(model(Xe), ye)
             finally:
                 model.train(was_training)
 

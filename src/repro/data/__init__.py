@@ -18,6 +18,7 @@ from repro.data.synthetic import (
 )
 from repro.data.partition import partition_dataset, PartitionedDataset
 from repro.data.loader import BatchLoader
+from repro.data.bank_loader import BankLoader
 
 __all__ = [
     "Dataset",
@@ -29,4 +30,5 @@ __all__ = [
     "partition_dataset",
     "PartitionedDataset",
     "BatchLoader",
+    "BankLoader",
 ]

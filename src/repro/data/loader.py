@@ -31,8 +31,14 @@ class BatchLoader:
         self._cursor = 0
         self.epochs_completed = 0
 
-    def next_batch(self) -> tuple[np.ndarray, np.ndarray]:
-        """Return the next (X, y) mini-batch, reshuffling at epoch boundaries."""
+    def next_indices(self) -> np.ndarray:
+        """Dataset-local indices of the next mini-batch, advancing the stream.
+
+        This is the RNG-bearing half of :meth:`next_batch` (shuffle order,
+        epoch wrap); separating it lets the vectorized :class:`BankLoader`
+        reproduce each shard's exact sampling stream while gathering all m
+        batches with a single fancy-index.
+        """
         n = len(self.dataset)
         if self._cursor + self.batch_size > n:
             remaining = self._order[self._cursor :]
@@ -43,9 +49,14 @@ class BatchLoader:
                 needed = self.batch_size - len(remaining)
                 idx = np.concatenate([remaining, self._order[:needed]])
                 self._cursor = needed
-                return self.dataset.X[idx], self.dataset.y[idx]
+                return idx
         idx = self._order[self._cursor : self._cursor + self.batch_size]
         self._cursor += self.batch_size
+        return idx
+
+    def next_batch(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return the next (X, y) mini-batch, reshuffling at epoch boundaries."""
+        idx = self.next_indices()
         return self.dataset.X[idx], self.dataset.y[idx]
 
     def __iter__(self):

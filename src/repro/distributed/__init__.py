@@ -13,6 +13,8 @@ the paper's figures.
 
 from repro.distributed.worker import Worker
 from repro.distributed.averaging import average_states, weighted_average_states
+from repro.distributed.backends import BackendUnsupported, LoopWorkers, WorkerBackend
+from repro.distributed.worker_bank import BankWorkerView, WorkerBank
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.events import CommunicationEvent, LocalPeriodEvent, EventLog
 from repro.distributed.topology import (
@@ -30,6 +32,11 @@ __all__ = [
     "Worker",
     "average_states",
     "weighted_average_states",
+    "BackendUnsupported",
+    "WorkerBackend",
+    "LoopWorkers",
+    "WorkerBank",
+    "BankWorkerView",
     "SimulatedCluster",
     "CommunicationEvent",
     "LocalPeriodEvent",

@@ -1,0 +1,182 @@
+"""Worker-execution backends: the worker-collection protocol + loop backend.
+
+:class:`~repro.distributed.cluster.SimulatedCluster` delegates everything
+that touches *all m replicas* — local SGD periods, state gather/broadcast,
+learning-rate and momentum control, model materialization for evaluation —
+to a backend implementing :class:`WorkerBackend`.  Two backends exist:
+
+* :class:`LoopWorkers` (this module) — one :class:`Worker` object per
+  replica, stepped in a Python loop.  This is the seed behaviour and the
+  fallback for models without a param-bank forward path (CNNs, batch-norm
+  nets) and for data-free objectives.
+* :class:`~repro.distributed.worker_bank.WorkerBank` — all replicas stacked
+  along a leading worker axis and stepped with single NumPy ops (the
+  vectorized path; see ``repro.nn.bank``).
+
+Backends register by name in :data:`repro.api.registries.BACKENDS` and share
+one constructor signature, so ``SimulatedCluster(..., backend="vectorized")``
+and the CLI's ``--backend`` flag switch them declaratively; ``"auto"`` picks
+the vectorized bank whenever the model and data support it.  Both backends
+consume the per-worker RNG streams identically, so switching backends does
+not perturb the experiment's sampling sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.api.registries import BACKENDS
+from repro.data.synthetic import Dataset
+from repro.distributed.worker import Worker
+from repro.nn.layers import Module
+
+__all__ = ["BackendUnsupported", "WorkerBackend", "LoopWorkers"]
+
+
+class BackendUnsupported(RuntimeError):
+    """Raised when a backend cannot execute the requested model/data setup."""
+
+
+class WorkerBackend:
+    """Protocol shared by worker-execution backends.
+
+    A backend owns the m model replicas, their data streams, and their local
+    optimizers; the cluster keeps the policy (when to average, the virtual
+    clock, the event log).  All flat parameter vectors use the
+    ``Module.get_flat_parameters`` layout.
+    """
+
+    name: str = "abstract"
+    #: Per-worker handles (``Worker`` objects or bank views) for introspection.
+    workers: Sequence
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def batch_size(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def initial_state(self) -> np.ndarray:
+        """Flat copy of the common initial parameter vector."""
+        raise NotImplementedError
+
+    def local_period(self, tau: int) -> np.ndarray:
+        """Run τ local SGD steps on every worker; per-worker mean losses ``(m,)``."""
+        raise NotImplementedError
+
+    def get_stacked_states(self) -> np.ndarray:
+        """All worker states as one ``(m, P)`` array (row i = worker i)."""
+        raise NotImplementedError
+
+    def broadcast_state(self, flat: np.ndarray) -> None:
+        """Overwrite every worker's parameters with one flat vector."""
+        raise NotImplementedError
+
+    def set_lr(self, lr: float) -> None:
+        raise NotImplementedError
+
+    def reset_momentum(self) -> None:
+        raise NotImplementedError
+
+    def materialize(self, flat: np.ndarray) -> Module:
+        """A module loaded with ``flat`` (treat as read-only scratch)."""
+        raise NotImplementedError
+
+    def evaluate_with_state(self, flat: np.ndarray, fn: Callable[[Module], float]):
+        """Run ``fn`` on a module holding ``flat``, leaving workers unchanged."""
+        raise NotImplementedError
+
+
+class LoopWorkers(WorkerBackend):
+    """The reference backend: one :class:`Worker` per replica, stepped in a loop."""
+
+    name = "loop"
+
+    def __init__(
+        self,
+        model_fn: Callable[[], Module],
+        shards: Sequence[Dataset | None],
+        *,
+        batch_size: int = 32,
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        rngs: Sequence | None = None,
+        first_model: Module | None = None,
+    ):
+        if not shards:
+            raise ValueError("need at least one shard (use [None, ...] for data-free runs)")
+        if rngs is None:
+            rngs = [None] * len(shards)
+        if len(rngs) != len(shards):
+            raise ValueError(f"{len(shards)} shards but {len(rngs)} RNG streams")
+        self.workers: list[Worker] = []
+        reference: np.ndarray | None = None
+        for i, (shard, rng) in enumerate(zip(shards, rngs)):
+            # ``first_model`` is the probe replica an "auto" fallback already
+            # built; reusing it keeps model_fn consumption identical to a
+            # direct loop-backend run even for stateful factories.
+            worker = Worker(
+                worker_id=i,
+                model=first_model if (i == 0 and first_model is not None) else model_fn(),
+                shard=shard,
+                batch_size=batch_size,
+                lr=lr,
+                momentum=momentum,
+                weight_decay=weight_decay,
+                rng=rng,
+            )
+            # Force identical initial parameters across replicas (same x1).
+            if reference is None:
+                reference = worker.get_parameters()
+            else:
+                worker.set_parameters(reference)
+            self.workers.append(worker)
+
+    @property
+    def batch_size(self) -> int:
+        loader = self.workers[0].loader
+        return loader.batch_size if loader is not None else 0
+
+    def initial_state(self) -> np.ndarray:
+        return self.workers[0].get_parameters()
+
+    def local_period(self, tau: int) -> np.ndarray:
+        return np.array([w.local_period(tau) for w in self.workers])
+
+    def get_stacked_states(self) -> np.ndarray:
+        return np.stack([w.get_parameters() for w in self.workers])
+
+    def broadcast_state(self, flat: np.ndarray) -> None:
+        for w in self.workers:
+            w.set_parameters(flat)
+
+    def set_lr(self, lr: float) -> None:
+        for w in self.workers:
+            w.set_lr(lr)
+
+    def reset_momentum(self) -> None:
+        for w in self.workers:
+            w.reset_momentum()
+
+    def materialize(self, flat: np.ndarray) -> Module:
+        worker0 = self.workers[0]
+        if not np.array_equal(worker0.get_parameters(), flat):
+            worker0.model.set_flat_parameters(flat)
+        return worker0.model
+
+    def evaluate_with_state(self, flat: np.ndarray, fn: Callable[[Module], float]):
+        worker0 = self.workers[0]
+        saved = worker0.get_parameters()
+        try:
+            worker0.set_parameters(flat)
+            return fn(worker0.model)
+        finally:
+            worker0.set_parameters(saved)
+
+
+BACKENDS.register("loop", LoopWorkers)

@@ -9,7 +9,13 @@ instance post-processes the average (Section 5.3.1).
 
 The cluster is deliberately policy-free: *when* to average and with what τ
 and learning rate is decided by the trainer / communication schedule in
-``repro.core``.
+``repro.core``.  *How* the m replicas are executed is equally pluggable: a
+worker-execution backend (see ``repro.distributed.backends``) either steps m
+:class:`Worker` objects in a Python loop (``"loop"``) or runs all replicas
+as stacked NumPy ops (``"vectorized"``, the worker bank).  ``"auto"`` picks
+the vectorized bank whenever the model and data support it.  The averaging
+step is the same arithmetic either way — ``mean(axis=0)`` over the stacked
+``(m, P)`` states — and the straggler clock advance is backend-independent.
 """
 
 from __future__ import annotations
@@ -18,15 +24,15 @@ from typing import Callable
 
 import numpy as np
 
+from repro.api.registries import BACKENDS
 from repro.data.partition import PartitionedDataset, partition_dataset
 from repro.data.synthetic import Dataset
-from repro.distributed.averaging import average_states
+from repro.distributed.backends import BackendUnsupported, WorkerBackend
 from repro.distributed.events import CommunicationEvent, EventLog, LocalPeriodEvent
-from repro.distributed.worker import Worker
 from repro.nn.layers import Module
 from repro.optim.block_momentum import BlockMomentum
 from repro.runtime.simulator import RuntimeSimulator
-from repro.utils.seeding import SeedSequence, check_random_state
+from repro.utils.seeding import SeedSequence
 from repro.utils.timer import VirtualClock
 
 __all__ = ["SimulatedCluster"]
@@ -54,6 +60,12 @@ class SimulatedCluster:
         Local-optimizer settings applied to every worker.
     block_momentum:
         Optional global block-momentum post-processing of each average.
+    backend:
+        Worker-execution backend name: ``"loop"`` (one ``Worker`` per
+        replica), ``"vectorized"`` (stacked worker bank), or ``"auto"``
+        (vectorized when the model/data support it, else loop).  Both
+        backends consume the same RNG streams, so seeded runs agree across
+        backends up to floating-point reduction order.
     """
 
     def __init__(
@@ -69,6 +81,7 @@ class SimulatedCluster:
         block_momentum: BlockMomentum | None = None,
         partition_strategy: str = "iid",
         seed: int = 0,
+        backend: str = "loop",
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -99,31 +112,52 @@ class SimulatedCluster:
             )
             shards = [self._partition.shard(i) for i in range(n_workers)]
 
-        # Build workers with identical initial parameters.
-        self.workers: list[Worker] = []
-        reference_params: np.ndarray | None = None
-        for i in range(n_workers):
-            model = model_fn()
-            worker = Worker(
-                worker_id=i,
-                model=model,
-                shard=shards[i],
-                batch_size=batch_size,
-                lr=lr,
-                momentum=momentum,
-                weight_decay=weight_decay,
-                rng=self._seeds.generator(),
-            )
-            if reference_params is None:
-                reference_params = worker.get_parameters()
-            else:
-                worker.set_parameters(reference_params)
-            self.workers.append(worker)
+        # Per-worker RNG streams, spawned in worker order (identical
+        # consumption of the seed sequence on every backend).
+        worker_rngs = [self._seeds.generator() for _ in range(n_workers)]
+        self.backend_name, self._backend = self._resolve_backend(
+            backend,
+            model_fn=model_fn,
+            shards=shards,
+            batch_size=batch_size,
+            lr=lr,
+            momentum=momentum,
+            weight_decay=weight_decay,
+            rngs=worker_rngs,
+        )
 
-        self._synchronized_params = reference_params.copy()
+        self._synchronized_params = self._backend.initial_state()
         self.total_local_iterations = 0
         self.communication_rounds = 0
         self.current_lr = lr
+
+    @staticmethod
+    def _resolve_backend(spec: str, **kwargs) -> tuple[str, WorkerBackend]:
+        """Build the execution backend; ``"auto"`` falls back to the loop.
+
+        The vectorized backend raises :class:`BackendUnsupported` before
+        consuming any RNG stream, and the probe replica built to decide
+        compatibility becomes the fallback's worker-0 model, so an "auto"
+        fallback consumes ``model_fn`` and every RNG stream exactly as a
+        direct ``backend="loop"`` run would.
+        """
+        if spec == "auto":
+            template = kwargs["model_fn"]()
+            try:
+                return "vectorized", BACKENDS.build("vectorized", template=template, **kwargs)
+            except BackendUnsupported:
+                return "loop", BACKENDS.build("loop", first_model=template, **kwargs)
+        return spec, BACKENDS.build(spec, **kwargs)
+
+    @property
+    def workers(self):
+        """Per-worker handles: ``Worker`` objects (loop) or bank views (vectorized)."""
+        return self._backend.workers
+
+    @property
+    def backend(self) -> WorkerBackend:
+        """The worker-execution backend instance."""
+        return self._backend
 
     # -- core PASGD operations ------------------------------------------------
     def run_local_period(self, tau: int) -> float:
@@ -135,7 +169,7 @@ class SimulatedCluster:
         if tau < 1:
             raise ValueError(f"tau must be >= 1, got {tau}")
         start = self.clock.now
-        losses = [w.local_period(tau) for w in self.workers]
+        losses = self._backend.local_period(tau)
         timing = self.runtime.sample_local_period(tau)
         self.clock.advance(timing.compute_time)
         self.total_local_iterations += tau
@@ -160,16 +194,15 @@ class SimulatedCluster:
         synchronized flat parameter vector.
         """
         start = self.clock.now
-        states = [w.get_parameters() for w in self.workers]
-        averaged = average_states(states)
+        states = self._backend.get_stacked_states()
+        averaged = states.mean(axis=0)
         if self.block_momentum is not None:
             averaged = self.block_momentum.apply(
                 self._synchronized_params, averaged, self.current_lr
             )
-        for w in self.workers:
-            w.set_parameters(averaged)
-            if self.block_momentum is not None:
-                w.reset_momentum()
+        self._backend.broadcast_state(averaged)
+        if self.block_momentum is not None:
+            self._backend.reset_momentum()
         self._synchronized_params = averaged.copy()
 
         duration = self.runtime.sample_communication()
@@ -191,8 +224,7 @@ class SimulatedCluster:
         """Set the learning rate on every worker."""
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
-        for w in self.workers:
-            w.set_lr(lr)
+        self._backend.set_lr(lr)
         self.current_lr = float(lr)
 
     # -- state access -----------------------------------------------------------------
@@ -203,32 +235,25 @@ class SimulatedCluster:
 
     def averaged_parameters(self) -> np.ndarray:
         """Average of the *current* local models, without modifying any worker."""
-        return average_states([w.get_parameters() for w in self.workers])
+        return self._backend.get_stacked_states().mean(axis=0)
 
     def synchronized_model(self) -> Module:
-        """The first worker's model loaded with the synchronized parameters.
+        """A model loaded with the synchronized parameters.
 
-        The returned module aliases worker 0's model object; callers should
-        treat it as read-only and must not take local steps while holding it.
+        The returned module aliases backend scratch state (worker 0's model
+        on the loop backend, the bank's template on the vectorized backend);
+        callers should treat it as read-only and must not take local steps
+        while holding it.
         """
-        model = self.workers[0].model
-        current = self.workers[0].get_parameters()
-        if not np.array_equal(current, self._synchronized_params):
-            # Materialize the synchronized parameters temporarily on worker 0.
-            model.set_flat_parameters(self._synchronized_params)
-        return model
+        return self._backend.materialize(self._synchronized_params)
 
     def evaluate_synchronized(
         self, X: np.ndarray, y: np.ndarray, metric: Callable[[Module, np.ndarray, np.ndarray], float]
     ) -> float:
-        """Evaluate a metric of the synchronized model, then restore worker 0's state."""
-        worker0 = self.workers[0]
-        saved = worker0.get_parameters()
-        try:
-            worker0.set_parameters(self._synchronized_params)
-            return metric(worker0.model, X, y)
-        finally:
-            worker0.set_parameters(saved)
+        """Evaluate a metric of the synchronized model, leaving workers unchanged."""
+        return self._backend.evaluate_with_state(
+            self._synchronized_params, lambda model: metric(model, X, y)
+        )
 
     def model_discrepancy(self) -> float:
         """Mean L2 distance of local models from their average.
@@ -237,15 +262,15 @@ class SimulatedCluster:
         bounds; it grows within a local period and collapses to zero at every
         averaging step.
         """
-        states = [w.get_parameters() for w in self.workers]
-        avg = average_states(states)
-        return float(np.mean([np.linalg.norm(s - avg) for s in states]))
+        states = self._backend.get_stacked_states()
+        avg = states.mean(axis=0)
+        return float(np.mean(np.linalg.norm(states - avg, axis=1)))
 
     def epochs_completed(self) -> float:
         """Approximate number of passes over the global training set."""
         if self._partition is None:
             return 0.0
         total_samples = len(self._partition.dataset)
-        batch = self.workers[0].loader.batch_size if self.workers[0].loader else 0
+        batch = self._backend.batch_size
         samples_processed = self.total_local_iterations * batch * self.n_workers
         return samples_processed / total_samples if total_samples else 0.0

@@ -21,6 +21,7 @@ import numpy as np
 from repro.data.loader import BatchLoader
 from repro.data.synthetic import Dataset
 from repro.nn.layers import Module
+from repro.nn.tensor import no_grad
 from repro.optim.sgd import SGD
 from repro.utils.seeding import check_random_state
 
@@ -102,7 +103,8 @@ class Worker:
         was_training = self.model.training
         self.model.eval()
         try:
-            loss = self.model.loss(X, y)
+            with no_grad():
+                loss = self.model.loss(X, y)
             return float(loss.item())
         finally:
             self.model.train(was_training)

@@ -1,0 +1,178 @@
+"""The vectorized worker bank: all m replicas stepped with single NumPy ops.
+
+``WorkerBank`` is the fast execution backend for the simulated cluster.
+Instead of m :class:`~repro.distributed.worker.Worker` objects stepped in a
+Python loop, it keeps one :class:`~repro.nn.bank.ParameterBank` with every
+replica's parameters stacked along a leading worker axis, draws all m
+mini-batches at once through a :class:`~repro.data.bank_loader.BankLoader`,
+and runs every local SGD step for all workers as batched NumPy ops
+(``repro.nn`` param-bank forward + :class:`~repro.optim.bank_sgd.BankSGD`).
+
+Because the bank consumes each shard's RNG stream exactly as the loop
+backend's per-worker loaders do, a seeded run produces the same trajectory
+on either backend (up to floating-point reduction order).  Models without a
+param-bank forward path (CNNs, batch-norm nets) and data-free objectives
+raise :class:`BackendUnsupported` *before* consuming any RNG state, so
+``backend="auto"`` can fall back to the loop backend transparently.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.api.registries import BACKENDS
+from repro.data.bank_loader import BankLoader
+from repro.data.synthetic import Dataset
+from repro.distributed.backends import BackendUnsupported, WorkerBackend
+from repro.nn.bank import ParameterBank, bank_compatible
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+from repro.optim.bank_sgd import BankSGD
+
+__all__ = ["WorkerBank", "BankWorkerView"]
+
+
+class BankWorkerView:
+    """Per-worker handle into a :class:`WorkerBank` (Worker-like surface).
+
+    Exposes the parameter-exchange subset of the :class:`Worker` interface so
+    that code iterating ``cluster.workers`` keeps working on the vectorized
+    backend.  ``model`` materializes this worker's slice into the bank's
+    shared template module — treat it as read-only scratch.
+    """
+
+    def __init__(self, bank_backend: "WorkerBank", worker_id: int):
+        self.worker_id = worker_id
+        self._backend = bank_backend
+
+    def get_parameters(self) -> np.ndarray:
+        return self._backend.bank.worker_flat(self.worker_id)
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        self._backend.bank.set_worker_flat(self.worker_id, flat)
+
+    @property
+    def model(self) -> Module:
+        return self._backend.materialize(self.get_parameters())
+
+    @property
+    def last_loss(self) -> float:
+        return float(self._backend.last_losses[self.worker_id])
+
+    @property
+    def local_steps_taken(self) -> int:
+        return self._backend.local_steps_taken
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BankWorkerView(id={self.worker_id}, steps={self.local_steps_taken})"
+
+
+class WorkerBank(WorkerBackend):
+    """m stacked replicas + stacked optimizer + stacked batch sampler."""
+
+    name = "vectorized"
+
+    def __init__(
+        self,
+        model_fn: Callable[[], Module],
+        shards: Sequence[Dataset | None],
+        *,
+        batch_size: int = 32,
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        rngs: Sequence | None = None,
+        template: Module | None = None,
+    ):
+        if not shards:
+            raise ValueError("need at least one shard")
+        if template is None:
+            template = model_fn()
+        # All unsupported-setup checks come before any RNG stream is consumed
+        # (BankLoader validates batch sizes before building its per-shard
+        # loaders), so "auto" can fall back to the loop backend with pristine
+        # streams.
+        if not bank_compatible(template):
+            raise BackendUnsupported(
+                f"model {type(template).__name__} has no param-bank forward path; "
+                f"use the 'loop' backend"
+            )
+        if any(shard is None for shard in shards):
+            raise BackendUnsupported(
+                "the vectorized backend needs a dataset shard per worker"
+            )
+        try:
+            loader = BankLoader(shards, batch_size, rngs=rngs)
+        except ValueError as err:
+            raise BackendUnsupported(f"stacked sampling unavailable: {err}") from err
+        self.model = template
+        self.bank = ParameterBank(template, len(shards))
+        self.loader = loader
+        self.optimizer = BankSGD(
+            self.bank, lr=lr, momentum=momentum, weight_decay=weight_decay
+        )
+        self.local_steps_taken = 0
+        self.last_losses = np.full(len(shards), np.nan)
+        self.workers = tuple(BankWorkerView(self, i) for i in range(len(shards)))
+
+    @property
+    def n_workers(self) -> int:
+        return self.bank.n_workers
+
+    @property
+    def batch_size(self) -> int:
+        return self.loader.batch_size
+
+    def initial_state(self) -> np.ndarray:
+        return self.bank.worker_flat(0)
+
+    # -- training ------------------------------------------------------------
+    def local_step(self) -> np.ndarray:
+        """One local mini-batch SGD update for all workers; per-worker losses."""
+        X, y = self.loader.next_batches()
+        self.optimizer.zero_grad()
+        losses = self.model.bank_loss(Tensor(X), y, self.bank.params)
+        # Summing the (m,) losses back-propagates each worker's own batch
+        # gradient into its slice of the bank (cross-worker terms are zero).
+        losses.sum().backward()
+        self.optimizer.step()
+        self.local_steps_taken += 1
+        self.last_losses = losses.data.copy()
+        return self.last_losses
+
+    def local_period(self, tau: int) -> np.ndarray:
+        if tau < 1:
+            raise ValueError(f"tau must be >= 1, got {tau}")
+        totals = np.zeros(self.n_workers)
+        for _ in range(tau):
+            totals += self.local_step()
+        return totals / tau
+
+    # -- parameter exchange ----------------------------------------------------
+    def get_stacked_states(self) -> np.ndarray:
+        return self.bank.get_stacked_flat()
+
+    def broadcast_state(self, flat: np.ndarray) -> None:
+        self.bank.broadcast_flat(flat)
+
+    # -- hyper-parameter control -------------------------------------------------
+    def set_lr(self, lr: float) -> None:
+        self.optimizer.set_lr(lr)
+
+    def reset_momentum(self) -> None:
+        self.optimizer.reset_momentum()
+
+    # -- evaluation ----------------------------------------------------------------
+    def materialize(self, flat: np.ndarray) -> Module:
+        self.model.set_flat_parameters(flat)
+        return self.model
+
+    def evaluate_with_state(self, flat: np.ndarray, fn: Callable[[Module], float]):
+        # The template is scratch space — the bank holds the ground truth — so
+        # no save/restore is needed.
+        return fn(self.materialize(flat))
+
+
+BACKENDS.register("vectorized", WorkerBank)

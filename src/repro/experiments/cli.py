@@ -9,9 +9,11 @@ The experiment is composed declaratively from the ``repro.api`` registries:
 * ``--config`` takes a named config *or* a path to a JSON file produced by
   ``ExperimentConfig.to_dict()`` / ``Experiment.save()``;
 * ``--model`` swaps the model by registry name;
+* ``--backend`` selects the worker-execution engine (``auto``, ``loop``, or
+  ``vectorized`` — see ``--list backends``);
 * ``--set key=value`` (repeatable) overrides any config field, with values
   parsed as Python literals (``--set n_workers=4 --set delay=pareto``);
-* ``--list {configs,models,datasets,delays,schedules,scalings,lr_schedules}``
+* ``--list {configs,models,datasets,delays,schedules,scalings,lr_schedules,backends}``
   prints the registered names and exits.
 """
 
@@ -74,6 +76,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--model", default=None, metavar="NAME",
                         help="override the model by registry name (see --list models)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="worker-execution backend: auto, loop, or vectorized "
+                             "(see --list backends; auto picks vectorized when supported)")
     parser.add_argument("--set", dest="overrides", action="append", default=[],
                         type=_parse_override, metavar="KEY=VALUE",
                         help="override any config field (repeatable), e.g. --set n_workers=4")
@@ -110,6 +115,8 @@ def _load_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["seed"] = args.seed
     if args.model is not None:
         overrides["model"] = args.model
+    if args.backend is not None:
+        overrides["backend"] = args.backend
     if overrides:
         try:
             config = config.with_overrides(**overrides)
@@ -136,7 +143,8 @@ def main(argv: list[str] | None = None) -> int:
     config = _load_config(args)
     print(f"running experiment {config.name!r}: model={config.model}, "
           f"{config.n_workers} workers, alpha={config.alpha}, "
-          f"budget={config.wall_time_budget:.0f}s, lr={config.lr}")
+          f"budget={config.wall_time_budget:.0f}s, lr={config.lr}, "
+          f"backend={config.backend}")
 
     store = run_experiment(config)
 

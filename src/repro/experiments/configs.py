@@ -28,6 +28,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable
 
 from repro.api.registries import (
+    BACKENDS,
     DATASETS,
     DELAYS,
     LR_SCHEDULES,
@@ -66,9 +67,13 @@ class ExperimentConfig:
     label_noise: float = 0.15
     hidden_sizes: tuple[int, ...] = ()
     n_classes: int = 10
-    # Cluster
+    # Cluster.  ``backend`` selects the worker-execution engine: "loop" steps
+    # one Worker object per replica, "vectorized" runs all replicas as
+    # stacked NumPy ops, and "auto" (default) picks vectorized whenever the
+    # model/data support it.
     n_workers: int = 4
     batch_size: int = 8
+    backend: str = "auto"
     # Delay model (all times in units of the mean compute time).  ``delay`` is
     # either a registered distribution name, whose parameters are derived from
     # ``compute_time`` / ``compute_time_std_fraction`` (moment matching), or a
@@ -183,6 +188,8 @@ class ExperimentConfig:
         NETWORK_SCALINGS.get(self.network_scaling)
         if self.lr_schedule is not None:
             LR_SCHEDULES.get(self.lr_schedule)
+        if self.backend != "auto":
+            BACKENDS.get(self.backend)
         return self
 
 

@@ -11,7 +11,10 @@ the model from ``MODELS``, the compute-time distribution from ``DELAYS``
 (with parameters derived from the config's mean/std knobs by moment
 matching), the learning-rate schedule from ``LR_SCHEDULES``, and each method
 spec string ("sync-sgd", "pasgd-tau20", "adacomm", or
-"<schedule>:key=value,...") from ``COMM_SCHEDULES``.
+"<schedule>:key=value,...") from ``COMM_SCHEDULES``.  The worker-execution
+backend comes from ``BACKENDS``: the default ``backend="auto"`` runs the
+vectorized worker bank whenever the model supports it and falls back to the
+per-worker loop otherwise (CNNs, batch-norm nets).
 """
 
 from __future__ import annotations
@@ -112,7 +115,12 @@ def parse_method_spec(spec: "str | MethodSpec", config: ExperimentConfig) -> Met
         kwargs.setdefault("tau", 1)
         name = "fixed"
     elif name.startswith("pasgd-tau"):
-        kwargs.setdefault("tau", int(name[len("pasgd-tau"):]))
+        try:
+            kwargs.setdefault("tau", int(name[len("pasgd-tau"):]))
+        except ValueError:
+            raise ValueError(
+                f"method spec {spec!r} has a malformed tau; e.g. 'pasgd-tau8'"
+            ) from None
         name = "fixed"
     elif name == "pasgd":
         name = "fixed"
@@ -295,6 +303,7 @@ def run_method(
         weight_decay=config.weight_decay,
         block_momentum=block,
         seed=seeds.spawn(),
+        backend=config.backend,
     )
 
     iters_per_epoch = max(1, len(train_set) // (config.batch_size * config.n_workers))
@@ -323,6 +332,7 @@ def run_method(
             "n_workers": config.n_workers,
             "block_momentum": config.block_momentum_beta,
             "variable_lr": config.variable_lr,
+            "backend": cluster.backend_name,
         }
     )
     record.config["event_breakdown"] = cluster.events.breakdown()

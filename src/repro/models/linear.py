@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.layers import Linear, Module
-from repro.nn.losses import cross_entropy, mse_loss
+from repro.nn.losses import bank_cross_entropy, bank_mse_loss, cross_entropy, mse_loss
 from repro.nn.tensor import Tensor
 
 __all__ = ["SoftmaxRegression", "LinearRegressionModel"]
@@ -34,6 +34,13 @@ class SoftmaxRegression(Module):
         """Cross-entropy loss of a batch (the trainer's standard interface)."""
         return cross_entropy(self(x), y)
 
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        x = self._as_bank_input(x)
+        return self.fc.bank_forward(x, params, f"{prefix}fc.")
+
+    def bank_loss(self, x, y: np.ndarray, params) -> Tensor:
+        return bank_cross_entropy(self.bank_forward(x, params), y)
+
 
 class LinearRegressionModel(Module):
     """Least-squares linear regression: a single linear layer + MSE."""
@@ -55,3 +62,14 @@ class LinearRegressionModel(Module):
         if target.ndim == 1:
             target = target.reshape(-1, 1)
         return mse_loss(pred, target)
+
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        x = self._as_bank_input(x)
+        return self.fc.bank_forward(x, params, f"{prefix}fc.")
+
+    def bank_loss(self, x, y, params) -> Tensor:
+        pred = self.bank_forward(x, params)
+        target = np.asarray(y, dtype=float)
+        if target.ndim == 2:  # (m, B) targets -> (m, B, 1)
+            target = target[..., None]
+        return bank_mse_loss(pred, target)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.layers import BatchNorm1d, Dropout, Linear, Module, ReLU, Residual, Sequential, Tanh
-from repro.nn.losses import cross_entropy
+from repro.nn.losses import bank_cross_entropy, cross_entropy
 from repro.nn.tensor import Tensor
 from repro.utils.seeding import SeedSequence, check_random_state
 
@@ -77,6 +77,13 @@ class MLP(Module):
     def loss(self, x, y: np.ndarray) -> Tensor:
         return cross_entropy(self(x), y)
 
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        x = self._as_bank_input(x)
+        return self.net.bank_forward(x, params, f"{prefix}net.")
+
+    def bank_loss(self, x, y: np.ndarray, params) -> Tensor:
+        return bank_cross_entropy(self.bank_forward(x, params), y)
+
 
 def build_mlp(n_features: int, n_classes: int, hidden_sizes=(128,), rng=None, **kwargs) -> MLP:
     """Convenience constructor used by the model registry."""
@@ -120,3 +127,12 @@ class ResidualMLP(Module):
 
     def loss(self, x, y: np.ndarray) -> Tensor:
         return cross_entropy(self(x), y)
+
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        x = self._as_bank_input(x)
+        h = self.stem.bank_forward(x, params, f"{prefix}stem.").relu()
+        h = self.blocks.bank_forward(h, params, f"{prefix}blocks.")
+        return self.head.bank_forward(h, params, f"{prefix}head.")
+
+    def bank_loss(self, x, y: np.ndarray, params) -> Tensor:
+        return bank_cross_entropy(self.bank_forward(x, params), y)

@@ -84,6 +84,11 @@ def _adaptive_cnn(channels: tuple[int, ...]) -> Callable:
             in_channels, image_size = infer_image_geometry(n_features)
         in_channels = 3 if in_channels is None else in_channels
         image_size = 8 if image_size is None else image_size
+        if n_features is not None and in_channels * image_size * image_size != n_features:
+            raise ValueError(
+                f"CNN geometry {in_channels}x{image_size}x{image_size} does not match "
+                f"the {n_features} flat features of the dataset"
+            )
         # Drop pooling stages that would shrink the image below 1×1.
         max_stages = max(1, int(math.log2(image_size)))
         return SmallCNN(

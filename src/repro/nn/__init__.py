@@ -33,7 +33,10 @@ from repro.nn.losses import (
     softmax,
     log_softmax,
     accuracy,
+    bank_cross_entropy,
+    bank_mse_loss,
 )
+from repro.nn.bank import ParameterBank, bank_compatible
 from repro.nn import init
 
 __all__ = [
@@ -58,5 +61,9 @@ __all__ = [
     "softmax",
     "log_softmax",
     "accuracy",
+    "bank_cross_entropy",
+    "bank_mse_loss",
+    "ParameterBank",
+    "bank_compatible",
     "init",
 ]

@@ -1,0 +1,137 @@
+"""Stacked parameter banks for the vectorized worker-bank backend.
+
+All m worker replicas in a simulated PASGD cluster share one architecture and
+differ only in parameter *values*.  :class:`ParameterBank` exploits that: it
+stores every parameter of a template module stacked along a leading worker
+axis — ``(m, *shape)`` — so that one batched NumPy op (matmul broadcasting
+over the leading axis, see :meth:`Module.bank_forward`) executes the
+corresponding computation for all workers at once instead of looping the m
+replicas in Python.
+
+The per-worker flat layout matches :meth:`Module.get_flat_parameters`
+exactly, so bank states interoperate unchanged with the model-averaging
+collective, the loop backend, and everything else that speaks flat parameter
+vectors.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["ParameterBank", "bank_compatible"]
+
+
+def bank_compatible(model: Module) -> bool:
+    """Whether ``model`` can run on the vectorized worker-bank backend.
+
+    Requires a ``bank_loss`` override, a bank-capable module tree (every
+    submodule implements ``bank_forward``), and at least one trainable
+    parameter.
+    """
+    return (
+        type(model).bank_loss is not Module.bank_loss
+        and model.supports_bank()
+        and any(True for _ in model.parameters())
+    )
+
+
+class ParameterBank:
+    """The parameters of m identical replicas, stacked along a worker axis.
+
+    Parameters
+    ----------
+    template:
+        A module whose current parameter values seed every worker slice (the
+        paper requires all workers to start from the same ``x1``).
+    n_workers:
+        Number of replicas m stacked along the leading axis.
+    """
+
+    def __init__(self, template: Module, n_workers: int):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self.params: "OrderedDict[str, Tensor]" = OrderedDict()
+        for name, p in template.named_parameters():
+            stacked = np.repeat(p.data[None, ...], self.n_workers, axis=0)
+            self.params[name] = Tensor(stacked, requires_grad=True, name=name)
+        if not self.params:
+            raise ValueError("template model has no trainable parameters")
+        self.n_parameters = sum(t.data[0].size for t in self.params.values())
+
+    def tensors(self) -> list[Tensor]:
+        """The stacked parameter tensors, in flat-layout order."""
+        return list(self.params.values())
+
+    def zero_grad(self) -> None:
+        for t in self.params.values():
+            t.zero_grad()
+
+    # -- flat-vector interop ------------------------------------------------
+    def get_stacked_flat(self) -> np.ndarray:
+        """All worker states as one ``(m, P)`` array (a copy); row i is the
+        flat parameter vector of worker i in ``get_flat_parameters`` layout."""
+        return np.concatenate(
+            [t.data.reshape(self.n_workers, -1) for t in self.params.values()], axis=1
+        )
+
+    def set_stacked_flat(self, flat: np.ndarray) -> None:
+        """Load an ``(m, P)`` array produced by :meth:`get_stacked_flat`."""
+        flat = np.asarray(flat, dtype=float)
+        if flat.shape != (self.n_workers, self.n_parameters):
+            raise ValueError(
+                f"stacked flat has shape {flat.shape}, bank needs "
+                f"({self.n_workers}, {self.n_parameters})"
+            )
+        offset = 0
+        for t in self.params.values():
+            n = t.data[0].size
+            t.data[...] = flat[:, offset : offset + n].reshape(t.data.shape)
+            offset += n
+
+    def broadcast_flat(self, flat: np.ndarray) -> None:
+        """Overwrite every worker slice with one flat ``(P,)`` vector."""
+        flat = np.asarray(flat, dtype=float)
+        if flat.shape != (self.n_parameters,):
+            raise ValueError(
+                f"flat vector has {flat.size} entries, bank needs {self.n_parameters}"
+            )
+        offset = 0
+        for t in self.params.values():
+            n = t.data[0].size
+            t.data[...] = flat[offset : offset + n].reshape(t.data.shape[1:])
+            offset += n
+
+    def worker_flat(self, worker_id: int) -> np.ndarray:
+        """Flat copy of one worker's parameter slice."""
+        self._check_worker(worker_id)
+        return np.concatenate([t.data[worker_id].ravel() for t in self.params.values()])
+
+    def set_worker_flat(self, worker_id: int, flat: np.ndarray) -> None:
+        """Overwrite one worker's slice with a flat vector."""
+        self._check_worker(worker_id)
+        flat = np.asarray(flat, dtype=float)
+        if flat.shape != (self.n_parameters,):
+            raise ValueError(
+                f"flat vector has {flat.size} entries, bank needs {self.n_parameters}"
+            )
+        offset = 0
+        for t in self.params.values():
+            n = t.data[0].size
+            t.data[worker_id] = flat[offset : offset + n].reshape(t.data.shape[1:])
+            offset += n
+
+    def _check_worker(self, worker_id: int) -> None:
+        if not 0 <= worker_id < self.n_workers:
+            raise IndexError(f"worker_id {worker_id} out of range [0, {self.n_workers})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParameterBank(n_workers={self.n_workers}, "
+            f"n_parameters={self.n_parameters}, params={len(self.params)})"
+        )

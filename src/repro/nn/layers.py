@@ -143,6 +143,49 @@ class Module:
             x = Tensor(x)
         return self.forward(x)
 
+    # -- param-bank forward (vectorized worker-bank backend) -------------------
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        """Run this module's computation for all m workers at once.
+
+        ``x`` carries a leading worker axis — ``(m, B, ...)`` — and ``params``
+        maps fully-qualified parameter names (as in :meth:`named_parameters`)
+        to tensors stacked along the same axis, ``(m, *shape)``.  ``prefix``
+        is this module's name prefix inside ``params``.  Layers that support
+        the stacked path override this; the base implementation marks the
+        module as loop-only (see :meth:`supports_bank`).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the param-bank forward path"
+        )
+
+    def bank_loss(self, x, y, params) -> Tensor:
+        """Per-worker losses ``(m,)`` of stacked batches under stacked params.
+
+        Each entry must equal ``self.loss(x[i], y[i])`` evaluated with worker
+        i's parameter slice, so that ``bank_loss(...).sum().backward()``
+        deposits every worker's own batch gradient into its slice of the
+        parameter bank.  Models that support the vectorized backend override
+        this alongside :meth:`bank_forward`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement a param-bank loss"
+        )
+
+    def supports_bank(self) -> bool:
+        """Whether this module tree can run the stacked param-bank forward."""
+        if type(self).bank_forward is Module.bank_forward:
+            return False
+        return all(mod.supports_bank() for mod in self._modules.values())
+
+    @staticmethod
+    def _as_bank_input(x) -> Tensor:
+        """Coerce a stacked batch to a ``(m, B, F)`` tensor (models' prelude)."""
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        if x.ndim > 3:
+            x = x.reshape(x.shape[0], x.shape[1], -1)
+        return x
+
 
 class Linear(Module):
     """Fully connected layer ``y = x W + b`` with weight of shape (in, out)."""
@@ -166,9 +209,22 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        # (m, B, in) @ (m, in, out) — matmul broadcasts over the worker axis,
+        # so one call runs every replica's affine map.
+        weight = params[f"{prefix}weight"]
+        out = x @ weight
+        if self.bias is not None:
+            bias = params[f"{prefix}bias"]  # (m, out)
+            out = out + bias.reshape(bias.shape[0], 1, bias.shape[1])
+        return out
+
 
 class ReLU(Module):
     def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
         return x.relu()
 
 
@@ -176,9 +232,15 @@ class Tanh(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.tanh()
 
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        return x.tanh()
+
 
 class Sigmoid(Module):
     def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
         return x.sigmoid()
 
 
@@ -187,6 +249,9 @@ class Flatten(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return x.reshape(x.shape[0], -1)
+
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        return x.reshape(x.shape[0], x.shape[1], -1)
 
 
 class Dropout(Module):
@@ -205,6 +270,21 @@ class Dropout(Module):
         mask = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
         return x * Tensor(mask)
 
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        if self.training and self.p > 0.0:
+            raise NotImplementedError(
+                "Dropout has no stream-equivalent param-bank forward; "
+                "use the 'loop' backend for models with live dropout"
+            )
+        return x
+
+    def supports_bank(self) -> bool:
+        # A single mask draw over the (m, B, ...) stack cannot reproduce the
+        # per-worker RNG streams of m loop replicas, and seeded runs must not
+        # change with the backend — so a live dropout keeps the model on the
+        # loop backend.  p = 0 is a no-op and stacks fine.
+        return self.p == 0.0
+
 
 class Sequential(Module):
     """Chain of sub-modules applied in order."""
@@ -219,6 +299,11 @@ class Sequential(Module):
     def forward(self, x: Tensor) -> Tensor:
         for mod in self._seq:
             x = mod(x)
+        return x
+
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        for name, mod in self._modules.items():
+            x = mod.bank_forward(x, params, f"{prefix}{name}.")
         return x
 
     def __len__(self) -> int:
@@ -455,3 +540,6 @@ class Residual(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return x + self.inner(x)
+
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        return x + self.inner.bank_forward(x, params, f"{prefix}inner.")

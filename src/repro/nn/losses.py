@@ -6,7 +6,16 @@ import numpy as np
 
 from repro.nn.tensor import Tensor
 
-__all__ = ["softmax", "log_softmax", "nll_loss", "cross_entropy", "mse_loss", "accuracy"]
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "nll_loss",
+    "cross_entropy",
+    "mse_loss",
+    "accuracy",
+    "bank_cross_entropy",
+    "bank_mse_loss",
+]
 
 
 def softmax(logits: Tensor, axis: int = -1) -> Tensor:
@@ -38,6 +47,40 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
 def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     """Mean cross-entropy of integer class ``targets`` given raw ``logits``."""
     return nll_loss(log_softmax(logits), targets)
+
+
+def bank_cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Per-worker mean cross-entropy of stacked ``(m, B, C)`` logits.
+
+    Returns an ``(m,)`` tensor whose i-th entry equals
+    ``cross_entropy(logits[i], targets[i])``; summing it and calling
+    ``backward()`` therefore deposits each worker's own batch gradient into
+    its slice of the parameter bank (the cross-worker terms are identically
+    zero because worker i's loss depends only on slice i).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 3:
+        raise ValueError("bank_cross_entropy expects (m, B, C) logits")
+    m, batch, _ = logits.shape
+    if targets.shape != (m, batch):
+        raise ValueError(
+            f"targets shape {targets.shape} does not match stacked batch ({m}, {batch})"
+        )
+    log_probs = log_softmax(logits, axis=-1)
+    workers = np.arange(m)[:, None]
+    rows = np.arange(batch)[None, :]
+    picked = log_probs[workers, rows, targets]  # (m, B)
+    return -picked.mean(axis=1)
+
+
+def bank_mse_loss(pred: Tensor, target) -> Tensor:
+    """Per-worker mean squared error of stacked ``(m, B, O)`` predictions."""
+    if not isinstance(target, Tensor):
+        target = Tensor(target)
+    if pred.ndim != 3:
+        raise ValueError("bank_mse_loss expects (m, B, O) predictions")
+    diff = pred - target
+    return (diff * diff).mean(axis=(1, 2))
 
 
 def mse_loss(pred: Tensor, target) -> Tensor:

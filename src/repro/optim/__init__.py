@@ -9,6 +9,7 @@ decaying the learning rate") described in Section 4.3.2.
 """
 
 from repro.optim.sgd import SGD
+from repro.optim.bank_sgd import BankSGD
 from repro.optim.block_momentum import BlockMomentum
 from repro.optim.lr_schedules import (
     LRSchedule,
@@ -21,6 +22,7 @@ from repro.optim.lr_schedules import (
 
 __all__ = [
     "SGD",
+    "BankSGD",
     "BlockMomentum",
     "LRSchedule",
     "ConstantLR",

@@ -1,0 +1,89 @@
+"""SGD over a stacked parameter bank: one update step for all m workers.
+
+``BankSGD`` applies exactly the local update rule of :class:`repro.optim.sgd.SGD`
+(eq. 2 of the paper — momentum, weight decay, Nesterov) to parameters stacked
+along a leading worker axis ``(m, *shape)``.  Because the update is
+elementwise, one NumPy op per parameter updates every replica at once, and
+each worker slice follows the same trajectory it would under m independent
+``SGD`` instances.  ``reset_momentum`` clears the stacked velocity buffers at
+averaging steps, as block momentum requires (Section 5.3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.bank import ParameterBank
+
+__all__ = ["BankSGD"]
+
+
+class BankSGD:
+    """Mini-batch SGD applied to all worker slices of a :class:`ParameterBank`.
+
+    Parameters mirror :class:`repro.optim.sgd.SGD`; the only difference is
+    that the "parameters" are the bank's stacked tensors and one ``step()``
+    advances every worker.
+    """
+
+    def __init__(
+        self,
+        bank: ParameterBank,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+
+        self.bank = bank
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = nesterov
+        self._velocity: dict[str, np.ndarray | None] = {name: None for name in bank.params}
+        self.n_steps = 0
+
+    def zero_grad(self) -> None:
+        self.bank.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update to every worker slice from the stacked gradients."""
+        for name, p in self.bank.params.items():
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                velocity = self._velocity[name]
+                if velocity is None:
+                    velocity = np.zeros_like(p.data)
+                    self._velocity[name] = velocity
+                # In-place v ← momentum·v + grad; same arithmetic as SGD but
+                # without a fresh (m, *shape) temporary per step.
+                velocity *= self.momentum
+                velocity += grad
+                if self.nesterov:
+                    grad = grad + self.momentum * velocity
+                else:
+                    grad = velocity
+            p.data -= self.lr * grad
+        self.n_steps += 1
+
+    def set_lr(self, lr: float) -> None:
+        """Change the learning rate (LR schedules and AdaComm coupling)."""
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def reset_momentum(self) -> None:
+        """Clear the stacked momentum buffers (block-momentum averaging step)."""
+        self._velocity = {name: None for name in self.bank.params}

@@ -85,6 +85,23 @@ class TestRegistry:
         assert reg.get("x") is int
         assert calls == [1]
 
+    def test_failed_populate_reraises_root_cause_on_retry(self):
+        calls = []
+
+        def populate():
+            calls.append(1)
+            if len(calls) == 1:
+                raise ImportError("missing dependency")
+            reg.register("x", int)
+
+        reg = Registry("widget", populate=populate)
+        with pytest.raises(ImportError, match="missing dependency"):
+            reg.get("x")
+        # The second lookup retries population instead of reporting an empty
+        # registry that masks the real import failure.
+        assert reg.get("x") is int
+        assert calls == [1, 1]
+
     def test_filter_kwargs_respects_var_keyword(self):
         assert filter_kwargs(lambda **kw: kw, {"a": 1}) == {"a": 1}
         assert filter_kwargs(lambda a: a, {"a": 1, "b": 2}) == {"a": 1}
@@ -129,6 +146,12 @@ class TestModelRegistry:
         import numpy as np
 
         assert model(np.zeros((2, 3, 4, 4))).shape == (2, 3)
+
+    def test_cnn_builder_rejects_geometry_mismatching_features(self):
+        # Explicit geometry that cannot view the dataset's flat features must
+        # fail at build time, not with a reshape error deep in forward().
+        with pytest.raises(ValueError, match="does not match"):
+            build_model("vgg_lite_cnn", n_features=192, in_channels=1, rng=0)
 
 
 class TestConfigSerialization:
@@ -209,6 +232,11 @@ class TestMethodSpecs:
     def test_missing_required_argument_raises_value_error(self):
         with pytest.raises(ValueError, match="missing or invalid arguments"):
             parse_method_spec("fixed", make_config("smoke"))
+
+    def test_malformed_pasgd_tau_names_the_spec(self):
+        for bad in ("pasgd-tau", "pasgd-taux"):
+            with pytest.raises(ValueError, match="malformed tau"):
+                parse_method_spec(bad, make_config("smoke"))
 
 
 class TestDelaySpecs:

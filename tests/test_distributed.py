@@ -9,9 +9,11 @@ from hypothesis import strategies as st
 
 from repro.data.partition import partition_dataset
 from repro.distributed.averaging import average_states, weighted_average_states
+from repro.distributed.backends import LoopWorkers
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.events import CommunicationEvent, EventLog, LocalPeriodEvent
 from repro.distributed.worker import Worker
+from repro.distributed.worker_bank import WorkerBank
 from repro.models.mlp import MLP
 from repro.optim.block_momentum import BlockMomentum
 from repro.runtime.distributions import ConstantDelay
@@ -259,6 +261,75 @@ class TestSimulatedCluster:
         cluster.run_round(10)
         # 10 iterations × 8 batch × 4 workers = 320 samples over a 180-sample dataset.
         assert cluster.epochs_completed() == pytest.approx(320 / 180)
+
+
+class TestClusterBackendParity:
+    """The cluster protocol must hold identically on both execution backends."""
+
+    @pytest.fixture(params=["loop", "vectorized"])
+    def backend(self, request):
+        return request.param
+
+    def test_backend_class_selection(self, tiny_dataset, tiny_model_fn, backend):
+        cluster = _make_cluster(tiny_dataset, tiny_model_fn, backend=backend)
+        expected = LoopWorkers if backend == "loop" else WorkerBank
+        assert isinstance(cluster.backend, expected)
+        assert cluster.backend_name == backend
+
+    def test_workers_start_identical_and_synchronize(self, tiny_dataset, tiny_model_fn, backend):
+        cluster = _make_cluster(tiny_dataset, tiny_model_fn, backend=backend)
+        ref = cluster.workers[0].get_parameters()
+        for w in cluster.workers[1:]:
+            np.testing.assert_allclose(w.get_parameters(), ref)
+        cluster.run_local_period(4)
+        assert cluster.model_discrepancy() > 0
+        averaged = cluster.average_models()
+        for w in cluster.workers:
+            np.testing.assert_allclose(w.get_parameters(), averaged)
+
+    def test_clock_and_event_log(self, tiny_dataset, tiny_model_fn, backend):
+        cluster = _make_cluster(tiny_dataset, tiny_model_fn, backend=backend)
+        for tau in (3, 5, 2):
+            cluster.run_round(tau)
+        assert cluster.clock.now == pytest.approx(cluster.events.total_time())
+        assert cluster.events.total_local_iterations() == 10
+        assert cluster.events.communication_rounds() == 3
+
+    def test_average_is_mean_axis0_of_stacked_states(self, tiny_dataset, tiny_model_fn, backend):
+        cluster = _make_cluster(tiny_dataset, tiny_model_fn, backend=backend)
+        cluster.run_local_period(3)
+        states = cluster.backend.get_stacked_states()
+        assert states.shape == (4, cluster.workers[0].get_parameters().size)
+        np.testing.assert_allclose(cluster.average_models(), states.mean(axis=0))
+
+    def test_worker_sharding_covers_dataset(self, tiny_dataset, tiny_model_fn, backend):
+        cluster = _make_cluster(tiny_dataset, tiny_model_fn, backend=backend)
+        indices = np.concatenate(cluster._partition.worker_indices)
+        assert len(indices) == len(tiny_dataset)
+        assert len(np.unique(indices)) == len(tiny_dataset)
+        assert cluster._partition.shard_sizes() == [45, 45, 45, 45]
+
+    def test_backend_evaluate_with_state_restores_workers(
+        self, tiny_dataset, tiny_model_fn, backend
+    ):
+        cluster = _make_cluster(tiny_dataset, tiny_model_fn, backend=backend)
+        cluster.run_round(3)
+        before = cluster.backend.get_stacked_states()
+        cluster.evaluate_synchronized(
+            tiny_dataset.X, tiny_dataset.y, lambda m, X, y: float(m.loss(X, y).item())
+        )
+        np.testing.assert_array_equal(before, cluster.backend.get_stacked_states())
+
+    def test_loop_and_vectorized_agree_on_seeded_run(self, tiny_dataset, tiny_model_fn):
+        loop = _make_cluster(tiny_dataset, tiny_model_fn, backend="loop")
+        bank = _make_cluster(tiny_dataset, tiny_model_fn, backend="vectorized")
+        for tau in (4, 2, 6):
+            loss_l = loop.run_round(tau)
+            loss_v = bank.run_round(tau)
+            assert loss_v == pytest.approx(loss_l, abs=1e-9)
+        np.testing.assert_allclose(
+            loop.synchronized_parameters, bank.synchronized_parameters, atol=1e-9
+        )
 
 
 @settings(max_examples=30, deadline=None)
