@@ -67,6 +67,7 @@ from repro.experiments import (
     run_method,
 )
 from repro.optim import SGD, BlockMomentum, ConstantLR, MultiStepLR, TauGatedStepLR
+from repro.sweep import ResultStore, SweepRunner, SweepSpec, grid, run_sweep
 from repro.runtime import (
     ConstantDelay,
     ExponentialDelay,
@@ -118,5 +119,10 @@ __all__ = [
     "speedup_constant_delays",
     "RunRecord",
     "RunStore",
+    "SweepSpec",
+    "ResultStore",
+    "SweepRunner",
+    "run_sweep",
+    "grid",
     "__version__",
 ]

@@ -38,6 +38,7 @@ from repro.api.registries import (
     LR_SCHEDULES,
     MODELS,
     NETWORK_SCALINGS,
+    SWEEPS,
     all_registries,
 )
 from repro.api.registry import Registry, filter_kwargs
@@ -52,6 +53,7 @@ __all__ = [
     "COMM_SCHEDULES",
     "LR_SCHEDULES",
     "BACKENDS",
+    "SWEEPS",
     "all_registries",
     "Experiment",
 ]

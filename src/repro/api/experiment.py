@@ -161,6 +161,43 @@ class Experiment:
 
         return run_experiment(self.build(), record_discrepancy=record_discrepancy)
 
+    def sweep(
+        self,
+        axes: "dict[str, list] | None" = None,
+        *,
+        store: str = "sweeps",
+        jobs: int = 1,
+        name: str | None = None,
+        seed_mode: str = "shared",
+        **axis_kwargs,
+    ):
+        """Expand a grid over the composed config and run it as a campaign.
+
+        ``axes`` / keyword axes follow :func:`repro.sweep.spec.grid` — config
+        field names plus the ``m`` / ``tau`` / ``method`` aliases::
+
+            report = (
+                Experiment("smoke")
+                .sweep(tau=[1, 8, 20], seed=range(3), store="sweeps", jobs=4)
+            )
+
+        Cells already present in the persistent ``store`` are skipped (the
+        store is content-addressed), so repeating a sweep is free and a
+        killed campaign resumes where it stopped.  Returns the
+        :class:`~repro.sweep.runner.SweepReport`; iterate
+        ``report.results()`` for the stored trajectories.
+        """
+        from repro.sweep import SweepRunner, SweepSpec
+
+        merged = {**(axes or {}), **axis_kwargs}
+        spec = SweepSpec(
+            name=name or f"{self._config.name}_sweep",
+            base=self.build(),
+            axes=merged,
+            seed_mode=seed_mode,
+        )
+        return SweepRunner(store, jobs=jobs).run(spec)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         c = self._config
         return (

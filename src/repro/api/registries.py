@@ -13,6 +13,7 @@ registry                  registered by                           example names
 ``LR_SCHEDULES``          ``repro.optim.lr_schedules``            ``tau_gated``
 ``BACKENDS``              ``repro.distributed.backends`` /        ``loop``, ``vectorized``
                           ``repro.distributed.worker_bank``
+``SWEEPS``                ``repro.sweep.campaigns``               ``tau_error_runtime``
 ========================  ======================================  =========================
 
 Each registry lazily imports its defining module on first lookup, so the
@@ -34,6 +35,7 @@ __all__ = [
     "COMM_SCHEDULES",
     "LR_SCHEDULES",
     "BACKENDS",
+    "SWEEPS",
     "all_registries",
 ]
 
@@ -58,6 +60,7 @@ BACKENDS = Registry(
     "execution backend",
     populate=_importer("repro.distributed.backends", "repro.distributed.worker_bank"),
 )
+SWEEPS = Registry("sweep", populate=_importer("repro.sweep.campaigns"))
 
 
 def all_registries() -> dict[str, Registry]:
@@ -70,4 +73,5 @@ def all_registries() -> dict[str, Registry]:
         "schedules": COMM_SCHEDULES,
         "lr_schedules": LR_SCHEDULES,
         "backends": BACKENDS,
+        "sweeps": SWEEPS,
     }

@@ -60,6 +60,15 @@ class WorkerBackend:
     def batch_size(self) -> int:  # pragma: no cover - overridden
         raise NotImplementedError
 
+    def shard_sizes(self) -> "list[int] | None":
+        """Per-worker training-shard sizes, or ``None`` for data-free runs.
+
+        These are the FedAvg-style averaging weights: under unbalanced
+        partitions the cluster can weight each worker's state by its shard
+        size (``weighting="shard_size"``) instead of averaging uniformly.
+        """
+        return None
+
     def initial_state(self) -> np.ndarray:
         """Flat copy of the common initial parameter vector."""
         raise NotImplementedError
@@ -141,6 +150,11 @@ class LoopWorkers(WorkerBackend):
     def batch_size(self) -> int:
         loader = self.workers[0].loader
         return loader.batch_size if loader is not None else 0
+
+    def shard_sizes(self) -> "list[int] | None":
+        if any(w.shard is None for w in self.workers):
+            return None
+        return [len(w.shard) for w in self.workers]
 
     def initial_state(self) -> np.ndarray:
         return self.workers[0].get_parameters()

@@ -27,6 +27,7 @@ import numpy as np
 from repro.api.registries import BACKENDS
 from repro.data.partition import PartitionedDataset, partition_dataset
 from repro.data.synthetic import Dataset
+from repro.distributed.averaging import weighted_average_states
 from repro.distributed.backends import BackendUnsupported, WorkerBackend
 from repro.distributed.events import CommunicationEvent, EventLog, LocalPeriodEvent
 from repro.nn.layers import Module
@@ -66,6 +67,12 @@ class SimulatedCluster:
         (vectorized when the model/data support it, else loop).  Both
         backends consume the same RNG streams, so seeded runs agree across
         backends up to floating-point reduction order.
+    weighting:
+        How the averaging collective weights worker states: ``"uniform"``
+        (the paper's setting, eq. 3) or ``"shard_size"`` — FedAvg-style
+        weighting by each worker's training-shard size, so unbalanced
+        partitions (e.g. ``label_skew``) average correctly.  Both backends
+        report their shard sizes, so the choice is backend-independent.
     """
 
     def __init__(
@@ -82,9 +89,14 @@ class SimulatedCluster:
         partition_strategy: str = "iid",
         seed: int = 0,
         backend: str = "loop",
+        weighting: str = "uniform",
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if weighting not in ("uniform", "shard_size"):
+            raise ValueError(
+                f"unknown weighting {weighting!r}; choose 'uniform' or 'shard_size'"
+            )
         if runtime.n_workers != n_workers:
             raise ValueError(
                 f"runtime simulator is configured for {runtime.n_workers} workers, "
@@ -125,6 +137,17 @@ class SimulatedCluster:
             weight_decay=weight_decay,
             rngs=worker_rngs,
         )
+
+        self.weighting = weighting
+        self._average_weights: list[int] | None = None
+        if weighting == "shard_size":
+            sizes = self._backend.shard_sizes()
+            if sizes is None:
+                raise ValueError(
+                    "weighting='shard_size' needs per-worker data shards; "
+                    "data-free runs must use weighting='uniform'"
+                )
+            self._average_weights = sizes
 
         self._synchronized_params = self._backend.initial_state()
         self.total_local_iterations = 0
@@ -186,6 +209,17 @@ class SimulatedCluster:
         )
         return mean_loss
 
+    def _average(self, states: np.ndarray) -> np.ndarray:
+        """Combine stacked ``(m, P)`` states per the configured weighting.
+
+        Uniform weighting keeps the exact ``mean(axis=0)`` arithmetic (and
+        hence float-identical trajectories with earlier versions); shard-size
+        weighting routes through :func:`weighted_average_states`.
+        """
+        if self._average_weights is None:
+            return states.mean(axis=0)
+        return weighted_average_states(list(states), self._average_weights)
+
     def average_models(self) -> np.ndarray:
         """Average all local models, broadcast the result, advance the clock.
 
@@ -195,7 +229,7 @@ class SimulatedCluster:
         """
         start = self.clock.now
         states = self._backend.get_stacked_states()
-        averaged = states.mean(axis=0)
+        averaged = self._average(states)
         if self.block_momentum is not None:
             averaged = self.block_momentum.apply(
                 self._synchronized_params, averaged, self.current_lr
@@ -235,7 +269,7 @@ class SimulatedCluster:
 
     def averaged_parameters(self) -> np.ndarray:
         """Average of the *current* local models, without modifying any worker."""
-        return self._backend.get_stacked_states().mean(axis=0)
+        return self._average(self._backend.get_stacked_states())
 
     def synchronized_model(self) -> Module:
         """A model loaded with the synchronized parameters.

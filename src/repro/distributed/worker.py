@@ -46,6 +46,7 @@ class Worker:
             raise ValueError(f"worker_id must be non-negative, got {worker_id}")
         self.worker_id = worker_id
         self.model = model
+        self.shard = shard
         self._rng = check_random_state(rng)
         self.loader = (
             BatchLoader(shard, batch_size, rng=self._rng) if shard is not None else None

@@ -110,6 +110,7 @@ class WorkerBank(WorkerBackend):
         self.model = template
         self.bank = ParameterBank(template, len(shards))
         self.loader = loader
+        self._shard_sizes = [len(shard) for shard in shards]
         self.optimizer = BankSGD(
             self.bank, lr=lr, momentum=momentum, weight_decay=weight_decay
         )
@@ -124,6 +125,9 @@ class WorkerBank(WorkerBackend):
     @property
     def batch_size(self) -> int:
         return self.loader.batch_size
+
+    def shard_sizes(self) -> list[int]:
+        return list(self._shard_sizes)
 
     def initial_state(self) -> np.ndarray:
         return self.bank.worker_flat(0)

@@ -26,9 +26,16 @@ from repro.experiments.tables import (
     format_table,
     accuracy_table,
     speedup_table,
+    sweep_summary_table,
     time_to_loss_table,
 )
-from repro.experiments.figures import loss_vs_time_series, tau_vs_time_series, comm_comp_breakdown
+from repro.experiments.figures import (
+    loss_vs_time_series,
+    tau_vs_time_series,
+    comm_comp_breakdown,
+    sweep_error_runtime_frontier,
+    sweep_loss_curves,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -47,4 +54,7 @@ __all__ = [
     "loss_vs_time_series",
     "tau_vs_time_series",
     "comm_comp_breakdown",
+    "sweep_summary_table",
+    "sweep_loss_curves",
+    "sweep_error_runtime_frontier",
 ]

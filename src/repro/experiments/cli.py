@@ -13,8 +13,17 @@ The experiment is composed declaratively from the ``repro.api`` registries:
   ``vectorized`` — see ``--list backends``);
 * ``--set key=value`` (repeatable) overrides any config field, with values
   parsed as Python literals (``--set n_workers=4 --set delay=pareto``);
-* ``--list {configs,models,datasets,delays,schedules,scalings,lr_schedules,backends}``
+* ``--list {configs,models,datasets,delays,schedules,scalings,lr_schedules,backends,sweeps}``
   prints the registered names and exits.
+
+Campaigns (``python -m repro --sweep <name>``) run a whole grid of
+experiments against a persistent, content-addressed result store:
+
+* ``--sweep`` names a registered campaign (see ``--list sweeps``);
+* ``--jobs N`` executes cells on N worker processes;
+* ``--store DIR`` selects the store directory (default ``sweeps``); cells
+  already in the store are skipped, so re-running a campaign only renders —
+  every table and curve is produced from the store, never from memory.
 """
 
 from __future__ import annotations
@@ -25,16 +34,25 @@ import json
 import os
 import sys
 
-from repro.api.registries import all_registries
+from repro.api.registries import SWEEPS, all_registries
 from repro.experiments.configs import (
     ExperimentConfig,
     _apply_scale,
     available_configs,
     make_config,
 )
-from repro.experiments.figures import loss_vs_time_series, summarize_series
+from repro.experiments.figures import (
+    loss_vs_time_series,
+    summarize_series,
+    sweep_loss_curves,
+)
 from repro.experiments.harness import run_experiment
-from repro.experiments.tables import accuracy_table, format_table, time_to_loss_table
+from repro.experiments.tables import (
+    accuracy_table,
+    format_table,
+    sweep_summary_table,
+    time_to_loss_table,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -82,6 +100,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--set", dest="overrides", action="append", default=[],
                         type=_parse_override, metavar="KEY=VALUE",
                         help="override any config field (repeatable), e.g. --set n_workers=4")
+    parser.add_argument("--sweep", default=None, metavar="NAME",
+                        help="run a registered experiment campaign instead of a single "
+                             "config (see --list sweeps); results land in --store")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for --sweep cell execution (default 1)")
+    parser.add_argument("--store", default="sweeps", metavar="DIR",
+                        help="result-store directory for --sweep (default ./sweeps); "
+                             "completed cells found here are never re-executed")
     parser.add_argument("--list", dest="list_what", default=None,
                         choices=["configs", *sorted(all_registries())],
                         help="print the registered names of one component kind and exit")
@@ -128,8 +154,74 @@ def _load_config(args: argparse.Namespace) -> ExperimentConfig:
         raise SystemExit(f"error: {err}") from err
 
 
+def _run_sweep(args: argparse.Namespace, parser_defaults: argparse.Namespace) -> int:
+    """Execute (or resume) a named campaign, then render from the store alone."""
+    from repro.sweep import ResultStore, SweepRunner
+
+    # A campaign's cells are fixed by its registered spec; accepting the
+    # single-run composition flags here would silently do nothing (and the
+    # content-addressed store would then serve the unintended results as
+    # cache hits forever), so reject them loudly instead.
+    ignored = [
+        flag
+        for flag, attr in [
+            ("--config", "config"), ("--model", "model"), ("--backend", "backend"),
+            ("--set", "overrides"), ("--scale", "scale"), ("--seed", "seed"),
+            ("--save", "save"),
+        ]
+        if getattr(args, attr) != getattr(parser_defaults, attr)
+    ]
+    if ignored:
+        raise SystemExit(
+            f"error: {', '.join(ignored)} cannot be combined with --sweep; campaign "
+            f"cells are defined by the registered spec (see repro.sweep.campaigns)"
+        )
+
+    try:
+        spec = SWEEPS.build(args.sweep)
+    except ValueError as err:
+        raise SystemExit(f"error: {err}") from err
+
+    store = ResultStore(args.store)
+    print(f"running sweep {spec.name!r}: {spec.n_cells} cells over "
+          f"axes {dict(spec.axes)}, jobs={args.jobs}, store={store.root}")
+    report = SweepRunner(store, jobs=args.jobs, progress=print).run(spec)
+    for address, error in report.failed.items():
+        print(f"\ncell {address} FAILED:\n{error}")
+
+    # Everything below renders from the persistent store, never from memory;
+    # cells are read and parsed exactly once and shared by every view.
+    addresses = sorted({c.address for c in report.cells} & set(store.addresses()))
+    if not addresses:
+        return 1 if report.failed else 0
+
+    cells = list(store.cells(addresses))
+    records = [rec for cell in cells for rec in cell.runs]
+    if args.target_loss is not None:
+        target = args.target_loss
+    else:
+        start = max(r.points[0].train_loss for r in records if r.points)
+        best = min(r.best_loss() for r in records)
+        target = best + 0.25 * (start - best)
+
+    print()
+    print(format_table(
+        ["cell", "method", "best loss", "best acc (%)", f"t(loss<={target:.3g}) (s)"],
+        sweep_summary_table(cells, target_loss=target),
+        title=f"Campaign {spec.name!r} — rendered from {store.root}",
+    ))
+    print()
+    for label, series in sweep_loss_curves(cells).items():
+        checkpoints = ", ".join(
+            f"{loss:.3f}@{t:.0f}s" for t, loss in summarize_series(series, max(2, args.points // 2))
+        )
+        print(f"  {label}: {checkpoints}")
+    return 1 if report.failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
 
     if args.list_what is not None:
         names = (
@@ -139,6 +231,9 @@ def main(argv: list[str] | None = None) -> int:
         )
         print("\n".join(names))
         return 0
+
+    if args.sweep is not None:
+        return _run_sweep(args, parser.parse_args([]))
 
     config = _load_config(args)
     print(f"running experiment {config.name!r}: model={config.model}, "

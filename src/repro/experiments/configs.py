@@ -74,6 +74,9 @@ class ExperimentConfig:
     n_workers: int = 4
     batch_size: int = 8
     backend: str = "auto"
+    # Averaging-collective weighting: "uniform" (paper, eq. 3) or
+    # "shard_size" (FedAvg-style, for unbalanced partitions).
+    weighting: str = "uniform"
     # Delay model (all times in units of the mean compute time).  ``delay`` is
     # either a registered distribution name, whose parameters are derived from
     # ``compute_time`` / ``compute_time_std_fraction`` (moment matching), or a
@@ -190,6 +193,10 @@ class ExperimentConfig:
             LR_SCHEDULES.get(self.lr_schedule)
         if self.backend != "auto":
             BACKENDS.get(self.backend)
+        if self.weighting not in ("uniform", "shard_size"):
+            raise ValueError(
+                f"unknown weighting {self.weighting!r}; choose 'uniform' or 'shard_size'"
+            )
         return self
 
 

@@ -20,7 +20,6 @@ per-worker loop otherwise (CNNs, batch-norm nets).
 from __future__ import annotations
 
 import ast
-import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -166,10 +165,11 @@ def _build_compute_distribution(config: ExperimentConfig) -> DelayDistribution:
     """Resolve the compute-time distribution from the config's ``delay`` spec.
 
     A dict spec ``{"kind": name, **params}`` is built verbatim from the
-    ``DELAYS`` registry.  A bare name derives the distribution's parameters
-    from ``compute_time`` (mean Y) and ``compute_time_std_fraction`` (std/Y)
-    by moment matching, so every named delay — including the heavy-tailed
-    ``pareto`` straggler model — plugs into the same two config knobs.
+    ``DELAYS`` registry.  A bare name delegates to the distribution's own
+    ``from_moments(mean, std)`` classmethod with ``compute_time`` (mean Y)
+    and ``compute_time_std_fraction · compute_time`` (std), so every named
+    delay — builtin or third-party ``@DELAYS.register(...)`` — plugs into
+    the same two config knobs by defining that one hook.
     """
     spec = config.delay
     if isinstance(spec, dict):
@@ -182,26 +182,23 @@ def _build_compute_distribution(config: ExperimentConfig) -> DelayDistribution:
 
     mean = config.compute_time
     std = config.compute_time_std_fraction * mean
-    DELAYS.get(spec)  # raise the standard unknown-name error first
-    if spec == "constant" or std <= 0:
+    factory = DELAYS.get(spec)  # raise the standard unknown-name error first
+    if std <= 0:
+        # Zero spread degenerates to a deterministic delay for every family.
         return DELAYS.build("constant", value=mean)
-    if spec == "shifted_exponential":
-        scale = min(std, mean)  # shift = mean - scale must stay non-negative
-        return DELAYS.build(spec, shift=mean - scale, scale=scale)
-    if spec == "exponential":
-        return DELAYS.build(spec, scale=mean)
-    if spec == "uniform":
-        half_width = min(math.sqrt(3.0) * std, mean)
-        return DELAYS.build(spec, low=mean - half_width, high=mean + half_width)
-    if spec == "pareto":
-        # Solve E = a s/(a-1), Var = (f E)^2  =>  a(a-2) = 1/f^2.
-        f = std / mean
-        shape = 1.0 + math.sqrt(1.0 + 1.0 / f**2)
-        return DELAYS.build(spec, scale=mean * (shape - 1.0) / shape, alpha=shape)
-    raise ValueError(
-        f"delay distribution {spec!r} has no moment-matching rule; pass an explicit "
-        f"spec dict like {{'kind': {spec!r}, ...params}} instead"
-    )
+    from_moments = getattr(factory, "from_moments", None)
+    if from_moments is None:
+        raise ValueError(
+            f"delay distribution {spec!r} has no from_moments(mean, std) hook; pass "
+            f"an explicit spec dict like {{'kind': {spec!r}, ...params}} instead"
+        )
+    try:
+        return from_moments(mean, std)
+    except NotImplementedError as err:
+        raise ValueError(
+            f"delay distribution {spec!r} has no moment-matching rule ({err}); pass "
+            f"an explicit spec dict like {{'kind': {spec!r}, ...params}} instead"
+        ) from None
 
 
 def _build_lr_schedule(config: ExperimentConfig) -> LRSchedule:
@@ -304,6 +301,7 @@ def run_method(
         block_momentum=block,
         seed=seeds.spawn(),
         backend=config.backend,
+        weighting=config.weighting,
     )
 
     iters_per_epoch = max(1, len(train_set) // (config.batch_size * config.n_workers))

@@ -3,8 +3,10 @@
 ``accuracy_table`` reproduces Table 1 (best test accuracy within the time
 budget, per method), ``time_to_loss_table`` and ``speedup_table`` produce the
 "X minutes vs Y minutes → Z× speedup" comparisons quoted throughout
-Section 5.  ``format_table`` renders any of them as aligned plain text, which
-is what the benchmark targets print.
+Section 5.  ``sweep_summary_table`` renders an entire campaign from a
+persistent :class:`~repro.sweep.store.ResultStore` (one row per cell ×
+method).  ``format_table`` renders any of them as aligned plain text, which
+is what the benchmark targets and the CLI print.
 """
 
 from __future__ import annotations
@@ -14,7 +16,13 @@ from typing import Sequence
 
 from repro.utils.results import RunStore
 
-__all__ = ["format_table", "accuracy_table", "time_to_loss_table", "speedup_table"]
+__all__ = [
+    "format_table",
+    "accuracy_table",
+    "time_to_loss_table",
+    "speedup_table",
+    "sweep_summary_table",
+]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None) -> str:
@@ -71,4 +79,36 @@ def speedup_table(store: RunStore, baseline: str, target_loss: float) -> list[li
     rows: list[list[object]] = []
     for record in store:
         rows.append([record.name, store.speedup(record.name, baseline, target_loss)])
+    return rows
+
+
+def sweep_summary_table(
+    result_store,
+    addresses: "list[str] | None" = None,
+    target_loss: float | None = None,
+) -> list[list[object]]:
+    """One row per (cell, method) of a sweep campaign, from the store alone.
+
+    ``result_store`` is a :class:`~repro.sweep.store.ResultStore` (or an
+    iterable of loaded :class:`~repro.sweep.store.CellResult`); rows are
+    ``[cell, method, best loss, best test accuracy %, time to target]`` (the
+    last column only when ``target_loss`` is given).  Pair with
+    :func:`format_table` and headers like ``["cell", "method", "best loss",
+    "best acc (%)", "t(loss<=X)"]``.
+    """
+    from repro.experiments.figures import iter_sweep_cells
+
+    rows: list[list[object]] = []
+    for cell in iter_sweep_cells(result_store, addresses):
+        for record in cell.runs:
+            acc = record.best_accuracy()
+            row: list[object] = [
+                cell.label,
+                record.name,
+                record.best_loss(),
+                100.0 * acc if not math.isnan(acc) else float("nan"),
+            ]
+            if target_loss is not None:
+                row.append(record.time_to_loss(target_loss))
+            rows.append(row)
     return rows

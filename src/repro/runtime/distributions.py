@@ -36,6 +36,22 @@ __all__ = [
 class DelayDistribution(abc.ABC):
     """A non-negative random delay with known mean and variance."""
 
+    @classmethod
+    def from_moments(cls, mean: float, std: float) -> "DelayDistribution":
+        """Build the distribution whose first two moments match ``mean``/``std``.
+
+        This is the hook the experiment harness uses to resolve a bare delay
+        name from the two config knobs ``compute_time`` and
+        ``compute_time_std_fraction``.  Third-party distributions registered
+        with ``@DELAYS.register(...)`` opt into bare-name configs by
+        overriding this classmethod; without it, only explicit
+        ``{"kind": ..., **params}`` specs are accepted.
+        """
+        raise NotImplementedError(
+            f"{cls.__name__} defines no moment-matching rule; override "
+            f"from_moments(mean, std) or use an explicit parameter spec"
+        )
+
     @property
     @abc.abstractmethod
     def mean(self) -> float:
@@ -70,6 +86,11 @@ class ConstantDelay(DelayDistribution):
 
     value: float
 
+    @classmethod
+    def from_moments(cls, mean: float, std: float) -> "ConstantDelay":
+        """Match the mean; the std is necessarily ignored (variance is zero)."""
+        return cls(value=mean)
+
     def __post_init__(self) -> None:
         if self.value < 0:
             raise ValueError(f"delay must be non-negative, got {self.value}")
@@ -92,6 +113,11 @@ class ExponentialDelay(DelayDistribution):
     """Exponential delay with mean ``scale`` — the straggler model of Section 3.2."""
 
     scale: float
+
+    @classmethod
+    def from_moments(cls, mean: float, std: float) -> "ExponentialDelay":
+        """Match the mean; an exponential's std is pinned to its mean."""
+        return cls(scale=mean)
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -123,6 +149,14 @@ class ShiftedExponentialDelay(DelayDistribution):
     shift: float
     scale: float
 
+    @classmethod
+    def from_moments(cls, mean: float, std: float) -> "ShiftedExponentialDelay":
+        """Set the exponential part's scale to the std (capped so shift >= 0)."""
+        if std <= 0:
+            raise ValueError(f"std must be positive, got {std}")
+        scale = min(std, mean)
+        return cls(shift=mean - scale, scale=scale)
+
     def __post_init__(self) -> None:
         if self.shift < 0:
             raise ValueError(f"shift must be non-negative, got {self.shift}")
@@ -149,6 +183,14 @@ class UniformDelay(DelayDistribution):
 
     low: float
     high: float
+
+    @classmethod
+    def from_moments(cls, mean: float, std: float) -> "UniformDelay":
+        """Center at the mean with half-width √3·std (capped so low >= 0)."""
+        if std <= 0:
+            raise ValueError(f"std must be positive, got {std}")
+        half_width = min(math.sqrt(3.0) * std, mean)
+        return cls(low=mean - half_width, high=mean + half_width)
 
     def __post_init__(self) -> None:
         if self.low < 0 or self.high < self.low:
@@ -179,6 +221,15 @@ class ParetoDelay(DelayDistribution):
 
     scale: float
     alpha: float
+
+    @classmethod
+    def from_moments(cls, mean: float, std: float) -> "ParetoDelay":
+        """Solve E = αs/(α−1), Var = std² for the shape: α(α−2) = (mean/std)²."""
+        if std <= 0:
+            raise ValueError(f"std must be positive, got {std}")
+        f = std / mean
+        shape = 1.0 + math.sqrt(1.0 + 1.0 / f**2)
+        return cls(scale=mean * (shape - 1.0) / shape, alpha=shape)
 
     def __post_init__(self) -> None:
         if self.scale <= 0:

@@ -1,0 +1,91 @@
+"""Named sweep campaigns — the multi-run experiments behind the paper's figures.
+
+Each entry in the ``SWEEPS`` registry is a zero-argument factory returning a
+:class:`~repro.sweep.spec.SweepSpec`, so campaigns resolve by name exactly
+like every other component: ``SWEEPS.build("tau_error_runtime")`` from code,
+``python -m repro --sweep tau_error_runtime --jobs 4`` from the CLI, and
+``--list sweeps`` to enumerate them.
+
+The paper's headline artifacts are all campaign-shaped:
+
+* ``tau_error_runtime`` — the τ-grid behind the error-vs-runtime trade-off
+  curves (Figure 2 / Section 5): one fixed-τ run per cell, replicated over
+  seeds, all sharing datasets (``seed_mode="shared"``) so curves differ only
+  in the communication period.
+* ``variable_vs_fixed_tau`` — ADACOMM against the best fixed-τ baselines,
+  seed-replicated (the variable-τ vs fixed-τ comparison).
+* ``worker_scaling`` — the m × τ grid (scaling sweeps over cluster size).
+* ``smoke_2x2`` — a 2×2 miniature used by tests and the CI sweep-smoke job.
+
+Budgets are scaled down so every campaign completes in seconds on one core
+while preserving the regime (α, τ ranges) each figure probes; pass
+``scale``/``seeds`` explicitly to :func:`tau_sweep` and friends for
+higher-fidelity versions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.api.registries import SWEEPS
+from repro.experiments.configs import make_config
+from repro.sweep.spec import SweepSpec, grid
+
+__all__ = ["tau_sweep", "method_sweep", "scaling_sweep", "smoke_sweep"]
+
+
+def tau_sweep(
+    config: str = "vgg_cifar10_fixed_lr",
+    taus: Sequence[int] = (1, 4, 20, 100),
+    seeds: Sequence[int] = (7, 8),
+    scale: float = 0.25,
+) -> SweepSpec:
+    """The fixed-τ grid behind the error-runtime trade-off figure."""
+    base = make_config(config, scale=scale)
+    return SweepSpec(
+        name="tau_error_runtime",
+        base=base,
+        axes=grid(tau=list(taus), seed=list(seeds)),
+    )
+
+
+def method_sweep(
+    config: str = "vgg_cifar10_fixed_lr",
+    methods: Sequence[str] = ("sync-sgd", "pasgd-tau20", "adacomm"),
+    seeds: Sequence[int] = (7, 8, 9),
+    scale: float = 0.25,
+) -> SweepSpec:
+    """Variable-τ (ADACOMM) vs fixed-τ baselines, replicated over seeds."""
+    base = make_config(config, scale=scale)
+    return SweepSpec(
+        name="variable_vs_fixed_tau",
+        base=base,
+        axes=grid(method=list(methods), seed=list(seeds)),
+    )
+
+
+def scaling_sweep(
+    config: str = "vgg_cifar10_fixed_lr",
+    cluster_sizes: Sequence[int] = (2, 4, 8),
+    taus: Sequence[int] = (1, 20),
+    scale: float = 0.25,
+) -> SweepSpec:
+    """The m × τ grid: how the trade-off shifts with cluster size."""
+    base = make_config(config, scale=scale)
+    return SweepSpec(
+        name="worker_scaling",
+        base=base,
+        axes=grid(m=list(cluster_sizes), tau=list(taus)),
+    )
+
+
+def smoke_sweep() -> SweepSpec:
+    """A 2×2 miniature campaign (τ × seed on the smoke config) for CI/tests."""
+    base = make_config("smoke")
+    return SweepSpec(name="smoke_2x2", base=base, axes=grid(tau=[1, 8], seed=[7, 8]))
+
+
+SWEEPS.register("tau_error_runtime", tau_sweep)
+SWEEPS.register("variable_vs_fixed_tau", method_sweep)
+SWEEPS.register("worker_scaling", scaling_sweep)
+SWEEPS.register("smoke_2x2", smoke_sweep)

@@ -1,0 +1,249 @@
+"""Declarative sweep specifications: a base config plus axes of variation.
+
+A :class:`SweepSpec` is the campaign analogue of an
+:class:`~repro.experiments.configs.ExperimentConfig`: pure data describing a
+*grid* of concrete experiment configs.  Each point of the grid — a
+:class:`SweepCell` — is produced by applying one combination of axis values
+to the base config through the existing ``with_overrides`` / ``to_dict`` /
+``from_dict`` spec machinery, so every cell is itself a validated,
+JSON-round-trippable config.
+
+Cells are identified by a **content address**: the SHA-256 hash of the
+canonical (sorted-key JSON) form of the cell's config dict, with the
+cosmetic ``name`` field excluded.  Two sweeps that expand to the same
+physics therefore share cells, a renamed campaign keeps its cache, and the
+:class:`~repro.sweep.store.ResultStore` can skip any cell whose address is
+already populated.
+
+Axis names are config field names, plus three paper-oriented aliases:
+
+* ``m`` — cluster size (``n_workers``);
+* ``tau`` — a single fixed-τ method per cell (``sync-sgd`` for τ = 1,
+  ``pasgd-tau<N>`` otherwise), the axis behind the error-runtime figures;
+* ``method`` — a single method spec string per cell (e.g. ``"adacomm"``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.experiments.configs import ExperimentConfig
+
+__all__ = ["SweepSpec", "SweepCell", "grid", "cell_hash", "derive_cell_seed"]
+
+#: Hex digits kept from the SHA-256 digest (64 bits — ample for any campaign).
+HASH_LENGTH = 16
+
+_SEED_MODES = ("shared", "decorrelated")
+
+
+def grid(**axes: Iterable) -> dict[str, list]:
+    """Build a sweep-axis mapping: ``grid(m=[4, 8], tau=[1, 20], seed=range(3))``.
+
+    Axis order is preserved (it determines cell enumeration order); every
+    axis must have at least one value.  Purely a readable constructor — a
+    plain ``dict`` of lists works everywhere a grid does.
+    """
+    out: dict[str, list] = {}
+    for name, values in axes.items():
+        values = list(values)
+        if not values:
+            raise ValueError(f"sweep axis {name!r} has no values")
+        out[name] = values
+    return out
+
+
+def format_overrides(overrides: Mapping[str, Any]) -> str:
+    """Canonical human-readable tag for axis assignments: ``"tau=4, seed=7"``."""
+    return ", ".join(f"{k}={v}" for k, v in overrides.items())
+
+
+def _resolve_axis(name: str, value: Any) -> dict[str, Any]:
+    """Map one axis assignment to concrete ``ExperimentConfig`` overrides."""
+    if name == "m":
+        return {"n_workers": int(value)}
+    if name == "tau":
+        tau = int(value)
+        if tau < 1:
+            raise ValueError(f"tau axis values must be >= 1, got {value!r}")
+        return {"methods": ("sync-sgd" if tau == 1 else f"pasgd-tau{tau}",)}
+    if name == "method":
+        return {"methods": (value,) if isinstance(value, str) else tuple(value)}
+    return {name: value}
+
+
+def cell_hash(config: ExperimentConfig) -> str:
+    """Content address of a cell: hash of its canonical config dict.
+
+    The ``name`` field is excluded — it is display metadata, and excluding
+    it lets a renamed campaign (or a different campaign reaching the same
+    point) reuse stored results.
+    """
+    payload = config.to_dict()
+    payload.pop("name", None)
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:HASH_LENGTH]
+
+
+def derive_cell_seed(address: str, base_seed: int) -> int:
+    """Deterministic per-cell seed mixing a cell's config hash into its seed.
+
+    Used by ``seed_mode="decorrelated"`` sweeps: every cell gets an
+    independent RNG stream that is still a pure function of the cell's
+    declared config, so re-runs and resumed campaigns reproduce
+    byte-identical results regardless of execution order or worker count.
+    The derived seed is folded back into the cell's config before the final
+    content address is computed (the address hashes what actually runs).
+    """
+    digest = hashlib.sha256(f"{address}:{base_seed}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % (2**31)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One concrete point of a sweep grid."""
+
+    index: int
+    #: Axis assignments that produced this cell, e.g. ``{"tau": 4, "seed": 7}``.
+    overrides: dict[str, Any]
+    config: ExperimentConfig
+    #: Content address (see :func:`cell_hash`) — always the hash of the
+    #: config *as executed*, so stored results never collide across modes.
+    address: str
+    #: Seed the runner executes with (always == ``config.seed``; kept as an
+    #: explicit field so store metadata records it even if defaults change).
+    run_seed: int
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell tag, e.g. ``"tau=4, seed=7"``."""
+        return format_overrides(self.overrides)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A campaign: a base config plus axes expanding into a grid of cells.
+
+    Parameters
+    ----------
+    name:
+        Campaign name (used for cell naming and the store manifest).
+    base:
+        The :class:`ExperimentConfig` every cell starts from.  Must be
+        serializable (no ``dataset_fn`` escape hatch) since cells are
+        content-addressed through ``to_dict()``.
+    axes:
+        Ordered mapping of axis name → values (see :func:`grid`).  Axis
+        names are config fields or the aliases ``m`` / ``tau`` / ``method``;
+        two axes may not resolve to the same config field.
+    seed_mode:
+        ``"shared"`` (default) — each cell runs with its config's own
+        ``seed``, so cells differing only in method/τ share datasets and
+        initializations (common random numbers, the paper's paired-
+        comparison setting).  ``"decorrelated"`` — each cell's run seed is
+        derived from the hash of its declared config
+        (:func:`derive_cell_seed`) and folded back into the config, fully
+        decorrelating the grid; the cell's address is then the hash of the
+        config as executed, so the two modes can never collide in a store.
+    """
+
+    name: str
+    base: ExperimentConfig
+    axes: Mapping[str, Sequence]
+    seed_mode: str = "shared"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("sweep name must be non-empty")
+        if self.seed_mode not in _SEED_MODES:
+            raise ValueError(
+                f"unknown seed_mode {self.seed_mode!r}; choose from {list(_SEED_MODES)}"
+            )
+        if not self.axes:
+            raise ValueError("a sweep needs at least one axis")
+        object.__setattr__(self, "axes", {k: list(v) for k, v in self.axes.items()})
+        seen_fields: dict[str, str] = {}
+        for axis, values in self.axes.items():
+            if not values:
+                raise ValueError(f"sweep axis {axis!r} has no values")
+            for target in _resolve_axis(axis, values[0]):
+                if target in seen_fields:
+                    raise ValueError(
+                        f"axes {seen_fields[target]!r} and {axis!r} both set "
+                        f"config field {target!r}"
+                    )
+                seen_fields[target] = axis
+        self.base.to_dict()  # fails loudly on non-serializable configs
+
+    @property
+    def n_cells(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= len(values)
+        return n
+
+    def cells(self) -> list[SweepCell]:
+        """Expand the grid into validated, content-addressed cells.
+
+        Enumeration order is the row-major product of the axes in insertion
+        order (last axis varies fastest), so cell indices are stable across
+        runs.
+        """
+        names = list(self.axes)
+        cells: list[SweepCell] = []
+        for index, combo in enumerate(
+            itertools.product(*(self.axes[n] for n in names))
+        ):
+            overrides = dict(zip(names, combo))
+            field_overrides: dict[str, Any] = {}
+            for axis, value in overrides.items():
+                field_overrides.update(_resolve_axis(axis, value))
+            config = self.base.with_overrides(
+                name=f"{self.name}[{format_overrides(overrides)}]", **field_overrides
+            ).validate()
+            if self.seed_mode == "decorrelated":
+                # Fold the derived seed back into the config, so the cell's
+                # content address is the hash of the config *as executed* —
+                # shared- and decorrelated-mode cells can never collide in
+                # the store (they only share an address when their executed
+                # physics is genuinely identical).
+                run_seed = derive_cell_seed(cell_hash(config), config.seed)
+                config = config.with_overrides(seed=run_seed)
+            else:
+                run_seed = config.seed
+            address = cell_hash(config)
+            cells.append(
+                SweepCell(
+                    index=index,
+                    overrides=overrides,
+                    config=config,
+                    address=address,
+                    run_seed=run_seed,
+                )
+            )
+        return cells
+
+    # -- serialization (provenance / manifests) ---------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form: base config dict + axes + seed mode."""
+        return {
+            "name": self.name,
+            "base": self.base.to_dict(),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+            "seed_mode": self.seed_mode,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SweepSpec":
+        """Rebuild a spec from :meth:`to_dict` output (validating the base)."""
+        return cls(
+            name=data["name"],
+            base=ExperimentConfig.from_dict(data["base"]),
+            axes=dict(data["axes"]),
+            seed_mode=data.get("seed_mode", "shared"),
+        )

@@ -1,0 +1,157 @@
+"""The persistent, content-addressed results store behind sweep campaigns.
+
+A :class:`ResultStore` maps cell content addresses (see
+:func:`repro.sweep.spec.cell_hash`) to completed run results on disk::
+
+    <root>/
+      cells/<address>/cell.json      # declared config + axis overrides + run seed
+      cells/<address>/result.json    # RunStore payload (all method trajectories)
+      sweeps/<campaign>.json         # manifest: which addresses a campaign spans
+
+Everything is plain JSON with sorted keys and **no timestamps**, so the same
+cell executed twice produces byte-identical files — the determinism contract
+the resume machinery and the test suite rely on.  ``result.json`` is written
+last and atomically (temp file + ``os.replace``), so a killed campaign never
+leaves a truncated result that would be mistaken for a completed cell: a
+cell is complete if and only if its ``result.json`` exists.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.sweep.spec import format_overrides
+from repro.utils.results import RunStore
+
+__all__ = ["ResultStore", "CellResult"]
+
+_CELL_FILE = "cell.json"
+_RESULT_FILE = "result.json"
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One completed cell loaded back from the store."""
+
+    address: str
+    #: ``cell.json`` payload: ``{"name", "overrides", "run_seed", "config"}``.
+    meta: dict[str, Any]
+    runs: RunStore
+
+    @property
+    def label(self) -> str:
+        overrides = self.meta.get("overrides", {})
+        if overrides:
+            return format_overrides(overrides)
+        return self.meta.get("name", self.address)
+
+
+def _dump_json(path: Path, payload: Any) -> None:
+    """Write JSON deterministically (sorted keys) and atomically."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+class ResultStore:
+    """On-disk cache of sweep-cell results, keyed by content address."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # -- layout -----------------------------------------------------------
+
+    def cell_dir(self, address: str) -> Path:
+        return self.root / "cells" / address
+
+    def _result_path(self, address: str) -> Path:
+        return self.cell_dir(address) / _RESULT_FILE
+
+    def _meta_path(self, address: str) -> Path:
+        return self.cell_dir(address) / _CELL_FILE
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, address: str) -> bool:
+        """A cell counts as stored only once its result file exists."""
+        return self._result_path(address).is_file()
+
+    def __len__(self) -> int:
+        return len(self.addresses())
+
+    def addresses(self) -> list[str]:
+        """Sorted content addresses of every *completed* cell."""
+        cells = self.root / "cells"
+        if not cells.is_dir():
+            return []
+        return sorted(d.name for d in cells.iterdir() if (d / _RESULT_FILE).is_file())
+
+    def meta(self, address: str) -> dict[str, Any]:
+        """The ``cell.json`` payload of a stored cell."""
+        try:
+            return json.loads(self._meta_path(address).read_text())
+        except FileNotFoundError:
+            raise KeyError(f"cell {address!r} not in store {self.root}") from None
+
+    def runs(self, address: str) -> RunStore:
+        """The :class:`RunStore` (all method trajectories) of a stored cell."""
+        try:
+            payload = json.loads(self._result_path(address).read_text())
+        except FileNotFoundError:
+            raise KeyError(f"cell {address!r} not in store {self.root}") from None
+        return RunStore.from_payload(payload)
+
+    def cell(self, address: str) -> CellResult:
+        return CellResult(address=address, meta=self.meta(address), runs=self.runs(address))
+
+    def cells(self, addresses: "list[str] | None" = None) -> Iterator[CellResult]:
+        """Iterate stored cells — all of them, or a specific address list."""
+        for address in self.addresses() if addresses is None else addresses:
+            yield self.cell(address)
+
+    # -- writes -----------------------------------------------------------
+
+    def put(
+        self,
+        address: str,
+        meta: dict[str, Any],
+        result_payload: dict[str, Any],
+    ) -> None:
+        """Persist one completed cell (metadata first, result last).
+
+        ``result_payload`` is a :meth:`RunStore.to_payload` dict.  Writing is
+        idempotent: re-putting an address overwrites with identical bytes.
+        """
+        cell_dir = self.cell_dir(address)
+        cell_dir.mkdir(parents=True, exist_ok=True)
+        _dump_json(self._meta_path(address), meta)
+        _dump_json(self._result_path(address), result_payload)
+
+    def write_manifest(self, campaign: str, payload: dict[str, Any]) -> Path:
+        """Record which addresses a campaign spans (``sweeps/<name>.json``)."""
+        manifest_dir = self.root / "sweeps"
+        manifest_dir.mkdir(parents=True, exist_ok=True)
+        path = manifest_dir / f"{campaign}.json"
+        _dump_json(path, payload)
+        return path
+
+    def manifest(self, campaign: str) -> dict[str, Any]:
+        path = self.root / "sweeps" / f"{campaign}.json"
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            raise KeyError(f"no manifest for campaign {campaign!r} in {self.root}") from None
+
+    def campaigns(self) -> list[str]:
+        """Names of campaigns with a manifest in this store."""
+        manifest_dir = self.root / "sweeps"
+        if not manifest_dir.is_dir():
+            return []
+        return sorted(p.stem for p in manifest_dir.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore(root={str(self.root)!r}, cells={len(self)})"

@@ -214,18 +214,25 @@ class RunStore:
             return float("nan")
         return t_slow / t_fast
 
-    def save(self, path: str | Path) -> None:
-        """Serialize the whole store to a JSON file."""
-        payload = {"runs": [r.to_dict() for r in self._runs.values()]}
-        Path(path).write_text(json.dumps(payload, indent=2))
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-compatible dict of the whole store (see :meth:`from_payload`)."""
+        return {"runs": [r.to_dict() for r in self._runs.values()]}
 
     @classmethod
-    def load(cls, path: str | Path) -> "RunStore":
+    def from_payload(cls, payload: dict[str, Any]) -> "RunStore":
+        """Rebuild a store from :meth:`to_payload` output."""
         store = cls()
-        payload = json.loads(Path(path).read_text())
         for rd in payload.get("runs", []):
             store.add(RunRecord.from_dict(rd))
         return store
+
+    def save(self, path: str | Path) -> None:
+        """Serialize the whole store to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_payload(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunStore":
+        return cls.from_payload(json.loads(Path(path).read_text()))
 
     @classmethod
     def from_records(cls, records: Iterable[RunRecord]) -> "RunStore":

@@ -347,3 +347,110 @@ def test_property_average_preserves_mean_and_bounds(n_states, dim, seed):
     assert np.all(avg >= stacked.min(axis=0) - 1e-12)
     assert np.all(avg <= stacked.max(axis=0) + 1e-12)
     np.testing.assert_allclose(avg.mean(), stacked.mean(), atol=1e-12)
+
+
+class TestShardWeightedAveraging:
+    """weighted_average_states wired through the cluster on both backends."""
+
+    def _unbalanced_cluster(self, tiny_dataset, tiny_model_fn, backend, weighting):
+        from repro.data.partition import PartitionedDataset
+
+        indices = [np.arange(0, 120), np.arange(120, len(tiny_dataset))]  # 120 vs 60
+        part = PartitionedDataset(tiny_dataset, indices)
+        runtime = RuntimeSimulator(
+            ConstantDelay(1.0), NetworkModel(2.0, "constant"), n_workers=2, rng=0
+        )
+        return SimulatedCluster(
+            model_fn=tiny_model_fn,
+            dataset=part,
+            runtime=runtime,
+            n_workers=2,
+            batch_size=8,
+            lr=0.2,
+            seed=0,
+            backend=backend,
+            weighting=weighting,
+        )
+
+    @pytest.mark.parametrize("backend", ["loop", "vectorized"])
+    def test_backends_report_shard_sizes(self, tiny_dataset, tiny_model_fn, backend):
+        cluster = self._unbalanced_cluster(tiny_dataset, tiny_model_fn, backend, "uniform")
+        assert cluster.backend.shard_sizes() == [120, 60]
+
+    @pytest.mark.parametrize("backend", ["loop", "vectorized"])
+    def test_shard_size_weighting_matches_manual_average(
+        self, tiny_dataset, tiny_model_fn, backend
+    ):
+        cluster = self._unbalanced_cluster(tiny_dataset, tiny_model_fn, backend, "shard_size")
+        cluster.run_local_period(3)
+        states = cluster.backend.get_stacked_states()
+        expected = (120.0 * states[0] + 60.0 * states[1]) / 180.0
+        averaged = cluster.average_models()
+        np.testing.assert_allclose(averaged, expected, atol=1e-12)
+        # The broadcast state is what every worker now holds.
+        for w in cluster.workers:
+            np.testing.assert_allclose(w.get_parameters(), averaged, atol=1e-12)
+
+    def test_shard_size_equals_uniform_on_balanced_shards_across_backends(
+        self, tiny_dataset, tiny_model_fn
+    ):
+        results = {}
+        for backend in ("loop", "vectorized"):
+            runtime = RuntimeSimulator(
+                ConstantDelay(1.0), NetworkModel(2.0, "constant"), n_workers=4, rng=0
+            )
+            cluster = SimulatedCluster(
+                model_fn=tiny_model_fn, dataset=tiny_dataset, runtime=runtime,
+                n_workers=4, batch_size=8, lr=0.2, seed=0,
+                backend=backend, weighting="shard_size",
+            )
+            cluster.run_round(4)
+            results[backend] = cluster.synchronized_parameters
+        np.testing.assert_allclose(results["loop"], results["vectorized"], atol=1e-9)
+
+    def test_weighted_trajectory_differs_from_uniform_when_unbalanced(
+        self, tiny_dataset, tiny_model_fn
+    ):
+        uniform = self._unbalanced_cluster(tiny_dataset, tiny_model_fn, "loop", "uniform")
+        weighted = self._unbalanced_cluster(tiny_dataset, tiny_model_fn, "loop", "shard_size")
+        uniform.run_round(4)
+        weighted.run_round(4)
+        assert not np.allclose(
+            uniform.synchronized_parameters, weighted.synchronized_parameters
+        )
+
+    def test_data_free_rejects_shard_size_weighting(self):
+        runtime = RuntimeSimulator(
+            ConstantDelay(1.0), NetworkModel(2.0, "constant"), n_workers=2, rng=0
+        )
+        with pytest.raises(ValueError, match="shard_size"):
+            SimulatedCluster(
+                model_fn=lambda: MLP(n_features=4, n_classes=2, hidden_sizes=(), rng=0),
+                dataset=None,
+                runtime=runtime,
+                n_workers=2,
+                seed=0,
+                weighting="shard_size",
+            )
+
+    def test_unknown_weighting_rejected(self, tiny_dataset, tiny_model_fn):
+        runtime = RuntimeSimulator(
+            ConstantDelay(1.0), NetworkModel(2.0, "constant"), n_workers=2, rng=0
+        )
+        with pytest.raises(ValueError, match="weighting"):
+            SimulatedCluster(
+                model_fn=tiny_model_fn, dataset=tiny_dataset, runtime=runtime,
+                n_workers=2, seed=0, weighting="fedavg",
+            )
+
+    def test_config_field_flows_through_harness(self):
+        from repro.experiments.configs import make_config
+        from repro.experiments.harness import run_method
+
+        cfg = make_config(
+            "smoke", n_train=120, n_test=40, wall_time_budget=8.0, weighting="shard_size"
+        )
+        record = run_method(cfg, "sync-sgd")
+        assert record.points
+        with pytest.raises(ValueError, match="weighting"):
+            make_config("smoke", weighting="bogus").validate()

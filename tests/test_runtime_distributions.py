@@ -139,3 +139,89 @@ def test_property_shifted_exponential_respects_lower_bound(shift, scale, seed):
     dist = ShiftedExponentialDelay(shift=shift, scale=scale)
     samples = dist.sample(500, rng=seed)
     assert np.all(samples >= shift)
+
+
+class TestFromMoments:
+    """Moment matching lives on the distributions (from_moments classmethods)."""
+
+    MATCHING = [
+        (ShiftedExponentialDelay, 1.0, 0.25),
+        (UniformDelay, 1.0, 0.25),
+        (ParetoDelay, 1.0, 0.25),
+        (ExponentialDelay, 2.0, 2.0),
+        (ShiftedExponentialDelay, 3.0, 0.5),
+        (UniformDelay, 2.0, 0.3),
+        (ParetoDelay, 5.0, 1.0),
+    ]
+
+    @pytest.mark.parametrize("cls,mean,std", MATCHING,
+                             ids=lambda v: getattr(v, "__name__", str(v)))
+    def test_moments_are_matched(self, cls, mean, std):
+        dist = cls.from_moments(mean, std)
+        assert isinstance(dist, cls)
+        assert dist.mean == pytest.approx(mean, rel=1e-12)
+        assert dist.std == pytest.approx(std, rel=1e-12)
+
+    def test_constant_matches_mean_only(self):
+        dist = ConstantDelay.from_moments(1.5, 0.25)
+        assert dist.value == 1.5 and dist.variance == 0.0
+
+    def test_exponential_pins_std_to_mean(self):
+        dist = ExponentialDelay.from_moments(2.0, 0.1)
+        assert dist.mean == 2.0 and dist.std == 2.0
+
+    def test_capped_families_stay_valid_for_large_std(self):
+        # std > mean: shift/low must be clamped at zero, not go negative.
+        se = ShiftedExponentialDelay.from_moments(1.0, 4.0)
+        assert se.shift == 0.0 and se.mean == 1.0
+        uni = UniformDelay.from_moments(1.0, 4.0)
+        assert uni.low == 0.0 and uni.mean == 1.0
+
+    @pytest.mark.parametrize("cls", [ShiftedExponentialDelay, UniformDelay, ParetoDelay])
+    def test_nonpositive_std_rejected(self, cls):
+        with pytest.raises(ValueError, match="std"):
+            cls.from_moments(1.0, 0.0)
+
+    def test_base_class_hook_raises_not_implemented(self):
+        from repro.runtime.distributions import DelayDistribution
+
+        class NoHook(DelayDistribution):
+            mean = 1.0
+            variance = 1.0
+
+            def sample(self, size, rng=None):
+                return np.zeros(size)
+
+        with pytest.raises(NotImplementedError, match="moment-matching"):
+            NoHook.from_moments(1.0, 0.5)
+
+    def test_registered_delay_resolves_via_hook_in_harness(self):
+        """A third-party delay given as a bare name works end to end."""
+        from repro.api import DELAYS
+        from repro.experiments.configs import make_config
+        from repro.experiments.harness import _build_compute_distribution
+
+        @DELAYS.register("thirdparty_uniform_for_test")
+        class ThirdParty(UniformDelay):
+            pass
+
+        try:
+            dist = _build_compute_distribution(
+                make_config("smoke", delay="thirdparty_uniform_for_test")
+            )
+            assert isinstance(dist, ThirdParty)
+            assert dist.mean == pytest.approx(1.0)
+        finally:
+            DELAYS.unregister("thirdparty_uniform_for_test")
+
+    def test_unhooked_registered_delay_fails_with_guidance(self):
+        from repro.api import DELAYS
+        from repro.experiments.configs import make_config
+        from repro.experiments.harness import _build_compute_distribution
+
+        DELAYS.register("hookless_for_test", lambda **kw: None)
+        try:
+            with pytest.raises(ValueError, match="from_moments"):
+                _build_compute_distribution(make_config("smoke", delay="hookless_for_test"))
+        finally:
+            DELAYS.unregister("hookless_for_test")

@@ -1,0 +1,361 @@
+"""Tests for ``repro.sweep``: specs, the content-addressed store, the runner.
+
+The determinism contract is the load-bearing part: the same ``SweepSpec``
+must expand to identical cell hashes and *byte-identical* stored metrics on
+every run, completed cells must be skipped (zero re-execution), and a
+partially-populated store must resume exactly the missing cells.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import SWEEPS, Experiment
+from repro.experiments.configs import make_config
+from repro.experiments.figures import sweep_error_runtime_frontier, sweep_loss_curves
+from repro.experiments.tables import sweep_summary_table
+from repro.sweep import (
+    ResultStore,
+    SweepRunner,
+    SweepSpec,
+    cell_hash,
+    grid,
+    run_sweep,
+)
+
+
+def tiny_spec(name="tiny", seed_mode="shared", **base_overrides) -> SweepSpec:
+    """A fast 2x2 spec on a shrunken smoke config (runs in well under 1 s)."""
+    base = make_config(
+        "smoke", n_train=120, n_test=40, wall_time_budget=12.0, **base_overrides
+    )
+    return SweepSpec(name, base, grid(tau=[1, 4], seed=[7, 8]), seed_mode=seed_mode)
+
+
+class TestGridAndSpec:
+    def test_grid_preserves_order_and_rejects_empty_axes(self):
+        axes = grid(tau=[1, 4], seed=range(2))
+        assert list(axes) == ["tau", "seed"]
+        assert axes["seed"] == [0, 1]
+        with pytest.raises(ValueError, match="no values"):
+            grid(tau=[])
+
+    def test_cells_cross_product_last_axis_fastest(self):
+        spec = tiny_spec()
+        cells = spec.cells()
+        assert spec.n_cells == len(cells) == 4
+        assert [c.overrides for c in cells] == [
+            {"tau": 1, "seed": 7},
+            {"tau": 1, "seed": 8},
+            {"tau": 4, "seed": 7},
+            {"tau": 4, "seed": 8},
+        ]
+
+    def test_axis_aliases_resolve_to_config_fields(self):
+        base = make_config("smoke")
+        spec = SweepSpec(
+            "alias", base, grid(m=[2], tau=[4], lr=[0.1])
+        )
+        (cell,) = spec.cells()
+        assert cell.config.n_workers == 2
+        assert cell.config.methods == ("pasgd-tau4",)
+        assert cell.config.lr == 0.1
+
+    def test_tau_one_is_sync_sgd(self):
+        spec = SweepSpec("t", make_config("smoke"), grid(tau=[1]))
+        assert spec.cells()[0].config.methods == ("sync-sgd",)
+
+    def test_method_axis(self):
+        spec = SweepSpec("m", make_config("smoke"), grid(method=["adacomm"]))
+        assert spec.cells()[0].config.methods == ("adacomm",)
+
+    def test_conflicting_axes_rejected(self):
+        with pytest.raises(ValueError, match="both set"):
+            SweepSpec("c", make_config("smoke"), {"tau": [1], "method": ["adacomm"]})
+        with pytest.raises(ValueError, match="both set"):
+            SweepSpec("c", make_config("smoke"), {"m": [2], "n_workers": [4]})
+
+    def test_invalid_axis_value_fails_at_expansion(self):
+        spec = SweepSpec("bad", make_config("smoke"), {"model": ["not_a_model"]})
+        with pytest.raises(ValueError, match="unknown model"):
+            spec.cells()
+
+    def test_unknown_axis_field_rejected(self):
+        spec = SweepSpec("bad", make_config("smoke"), {"not_a_field": [1]})
+        with pytest.raises(TypeError):
+            spec.cells()
+
+    def test_spec_requires_axes_and_valid_seed_mode(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            SweepSpec("x", make_config("smoke"), {})
+        with pytest.raises(ValueError, match="seed_mode"):
+            SweepSpec("x", make_config("smoke"), grid(tau=[1]), seed_mode="nope")
+
+    def test_spec_round_trips_through_json(self):
+        spec = tiny_spec()
+        clone = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert [c.address for c in clone.cells()] == [c.address for c in spec.cells()]
+        assert clone.seed_mode == spec.seed_mode
+
+
+class TestCellHashing:
+    def test_hash_ignores_cosmetic_name(self):
+        a = make_config("smoke").with_overrides(name="first")
+        b = make_config("smoke").with_overrides(name="second")
+        assert cell_hash(a) == cell_hash(b)
+
+    def test_hash_distinguishes_physics(self):
+        base = make_config("smoke")
+        assert cell_hash(base) != cell_hash(base.with_overrides(lr=base.lr * 2))
+
+    def test_same_spec_expands_to_identical_hashes(self):
+        first = [c.address for c in tiny_spec().cells()]
+        second = [c.address for c in tiny_spec().cells()]
+        assert first == second
+        assert len(set(first)) == 4
+
+    def test_renamed_campaign_keeps_addresses(self):
+        a = [c.address for c in tiny_spec(name="alpha").cells()]
+        b = [c.address for c in tiny_spec(name="beta").cells()]
+        assert a == b
+
+    def test_shared_seed_mode_uses_config_seed(self):
+        for cell in tiny_spec(seed_mode="shared").cells():
+            assert cell.run_seed == cell.config.seed
+
+    def test_decorrelated_seed_mode_derives_from_hash(self):
+        cells = tiny_spec(seed_mode="decorrelated").cells()
+        seeds = [c.run_seed for c in cells]
+        assert len(set(seeds)) == len(seeds)  # all distinct
+        for cell in cells:
+            # The derived seed is folded back into the executed config, so
+            # the content address always hashes exactly what runs.
+            assert cell.config.seed == cell.run_seed
+            assert cell.address == cell_hash(cell.config)
+        again = tiny_spec(seed_mode="decorrelated").cells()
+        assert [c.run_seed for c in again] == seeds
+        assert [c.address for c in again] == [c.address for c in cells]
+
+    def test_seed_modes_never_collide_in_the_store(self, tmp_path):
+        """Shared- and decorrelated-mode cells of one spec have disjoint
+        addresses, so a store populated by one mode can never serve
+        wrong-seed results to the other as cache hits."""
+        shared = tiny_spec(seed_mode="shared")
+        decorrelated = tiny_spec(seed_mode="decorrelated")
+        shared_addresses = {c.address for c in shared.cells()}
+        decorrelated_addresses = {c.address for c in decorrelated.cells()}
+        assert not shared_addresses & decorrelated_addresses
+        run_sweep(shared, tmp_path)
+        report = run_sweep(decorrelated, tmp_path)
+        assert len(report.executed) == 4 and not report.cached
+
+
+class TestResultStore:
+    def test_missing_cell_raises_keyerror(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert "deadbeef" not in store
+        with pytest.raises(KeyError):
+            store.runs("deadbeef")
+        with pytest.raises(KeyError):
+            store.meta("deadbeef")
+
+    def test_incomplete_cell_not_counted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cell_dir = store.cell_dir("abc123")
+        cell_dir.mkdir(parents=True)
+        (cell_dir / "cell.json").write_text("{}")
+        # No result.json yet: the cell must not be treated as complete.
+        assert "abc123" not in store
+        assert store.addresses() == []
+
+    def test_manifest_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write_manifest("camp", {"cells": []})
+        assert store.campaigns() == ["camp"]
+        assert store.manifest("camp") == {"cells": []}
+        with pytest.raises(KeyError):
+            store.manifest("other")
+
+
+class TestRunnerDeterminismAndResume:
+    def test_two_runs_byte_identical_stores(self, tmp_path):
+        spec = tiny_spec()
+        report_a = run_sweep(spec, tmp_path / "a")
+        report_b = run_sweep(tiny_spec(), tmp_path / "b")
+        assert sorted(report_a.executed) == sorted(report_b.executed)
+        for cell in spec.cells():
+            for fname in ("cell.json", "result.json"):
+                bytes_a = (report_a.store.cell_dir(cell.address) / fname).read_bytes()
+                bytes_b = (report_b.store.cell_dir(cell.address) / fname).read_bytes()
+                assert bytes_a == bytes_b, f"{fname} differs for {cell.label}"
+
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        spec = tiny_spec()
+        first = run_sweep(spec, tmp_path)
+        assert len(first.executed) == 4 and not first.cached
+        second = run_sweep(tiny_spec(), tmp_path)
+        assert not second.executed
+        assert len(second.cached) == 4
+        assert second.ok
+
+    def test_partial_store_resumes_only_missing_cells(self, tmp_path):
+        spec = tiny_spec()
+        report = run_sweep(spec, tmp_path)
+        victim = report.executed[2]
+        before = (report.store.cell_dir(victim) / "result.json").read_bytes()
+        (report.store.cell_dir(victim) / "result.json").unlink()
+
+        resumed = run_sweep(tiny_spec(), tmp_path)
+        assert resumed.executed == [victim]
+        assert len(resumed.cached) == 3
+        after = (report.store.cell_dir(victim) / "result.json").read_bytes()
+        assert after == before  # the re-executed cell reproduces its bytes
+
+    def test_parallel_matches_serial_bytes(self, tmp_path):
+        spec = tiny_spec()
+        serial = run_sweep(spec, tmp_path / "serial")
+        # fork keeps this test fast; the CLI/CI exercise the spawn default.
+        parallel = SweepRunner(tmp_path / "par", jobs=2, mp_context="fork").run(
+            tiny_spec()
+        )
+        assert sorted(parallel.executed) == sorted(serial.executed)
+        for address in serial.executed:
+            assert (
+                (serial.store.cell_dir(address) / "result.json").read_bytes()
+                == (parallel.store.cell_dir(address) / "result.json").read_bytes()
+            )
+
+    def test_duplicate_cells_collapse(self, tmp_path):
+        # Two axis values expanding to identical configs -> one stored cell.
+        spec = SweepSpec(
+            "dup",
+            make_config("smoke", n_train=120, n_test=40, wall_time_budget=8.0),
+            {"method": ["sync-sgd", "sync-sgd"]},
+        )
+        cells = spec.cells()
+        assert len(cells) == 2
+        assert cells[0].address == cells[1].address
+        report = run_sweep(spec, tmp_path)
+        assert len(report.executed) == 1
+        assert report.total == 2
+
+    def test_failed_cell_reported_not_raised(self, tmp_path):
+        spec = SweepSpec(
+            "boom",
+            make_config("smoke", n_train=120, n_test=40, wall_time_budget=8.0),
+            {"method": ["fixed:tau=0", "sync-sgd"]},
+        )
+        report = run_sweep(spec, tmp_path)
+        assert not report.ok
+        assert len(report.failed) == 1
+        assert len(report.executed) == 1
+        (failed_address,) = report.failed
+        assert failed_address not in report.store
+
+    def test_results_iterates_stored_trajectories(self, tmp_path):
+        report = run_sweep(tiny_spec(), tmp_path)
+        results = list(report.results())
+        assert len(results) == 4
+        for cell in results:
+            names = cell.runs.names()
+            assert names in (["sync-sgd"], ["pasgd-tau4"])
+            assert all(rec.points for rec in cell.runs)
+
+    def test_runner_rejects_bad_jobs(self, tmp_path):
+        with pytest.raises(ValueError, match="jobs"):
+            SweepRunner(tmp_path, jobs=0)
+
+
+class TestNamedCampaignsAndExperimentSweep:
+    def test_registered_campaigns_expand(self):
+        for name in ("tau_error_runtime", "variable_vs_fixed_tau", "worker_scaling",
+                     "smoke_2x2"):
+            spec = SWEEPS.build(name)
+            assert spec.n_cells >= 4
+            assert len({c.address for c in spec.cells()}) == spec.n_cells
+
+    def test_sweeps_listed_in_api_registries(self):
+        from repro.api import all_registries
+
+        assert "smoke_2x2" in all_registries()["sweeps"].names()
+
+    def test_experiment_sweep_runs_and_resumes(self, tmp_path):
+        exp = Experiment("smoke").set(n_train=120, n_test=40, wall_time_budget=10.0)
+        report = exp.sweep(tau=[1, 4], store=str(tmp_path), name="fluent")
+        assert report.sweep == "fluent"
+        assert len(report.executed) == 2
+        again = exp.sweep(tau=[1, 4], store=str(tmp_path), name="fluent")
+        assert not again.executed and len(again.cached) == 2
+
+
+class TestRenderingFromStore:
+    @pytest.fixture()
+    def populated(self, tmp_path):
+        report = run_sweep(tiny_spec(), tmp_path)
+        addresses = report.executed
+        # Render from a *fresh* handle: nothing in memory, only the directory.
+        return ResultStore(tmp_path), addresses
+
+    def test_summary_table_from_store_alone(self, populated):
+        store, addresses = populated
+        rows = sweep_summary_table(store, addresses, target_loss=1.0)
+        assert len(rows) == 4
+        for cell_label, method, best_loss, best_acc, t_target in rows:
+            assert method in ("sync-sgd", "pasgd-tau4")
+            assert best_loss > 0 and 0 <= best_acc <= 100
+
+    def test_loss_curves_from_store_alone(self, populated):
+        store, addresses = populated
+        curves = sweep_loss_curves(store, addresses)
+        assert len(curves) == 4
+        for label, series in curves.items():
+            assert "::" in label and len(series) >= 2
+
+    def test_error_runtime_frontier(self, populated):
+        store, addresses = populated
+        frontier = sweep_error_runtime_frontier(store, target_loss=1.0, addresses=addresses)
+        assert len(frontier) == 4
+        for _, t_target, best_loss in frontier:
+            assert t_target > 0 and best_loss > 0
+
+
+class TestSweepCLI:
+    def test_list_sweeps(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--list", "sweeps"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke_2x2" in out and "tau_error_runtime" in out
+
+    def test_cli_sweep_runs_then_caches(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--sweep", "smoke_2x2", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "executed=4 cached=0" in out
+        assert "rendered from" in out
+
+        assert main(["--sweep", "smoke_2x2", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "executed=0 cached=4" in out
+
+    def test_cli_unknown_sweep_errors(self, tmp_path):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit, match="unknown sweep"):
+            main(["--sweep", "nope", "--store", str(tmp_path)])
+
+    @pytest.mark.parametrize(
+        "extra",
+        [["--set", "n_workers=8"], ["--scale", "0.5"], ["--seed", "3"],
+         ["--model", "mlp"], ["--backend", "loop"], ["--config", "smoke"]],
+        ids=["set", "scale", "seed", "model", "backend", "config"],
+    )
+    def test_cli_rejects_single_run_flags_with_sweep(self, tmp_path, extra):
+        """Flags that would be silently ignored must fail loudly instead."""
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit, match="cannot be combined with --sweep"):
+            main(["--sweep", "smoke_2x2", "--store", str(tmp_path), *extra])
