@@ -1,15 +1,16 @@
 """Wall-clock speedup of the vectorized worker-bank backend over the loop.
 
-Times the same seeded PASGD workload — a dense MLP on synthetic data, the
-hot path of the paper's large-m sweeps (Figs. 12–14) — on both execution
-backends at several cluster sizes, checks that the two backends produce the
-same trajectory, and writes the results to ``BENCH_backend.json`` so the
-performance trajectory is tracked across PRs.
+Times the same seeded PASGD workloads — a dense MLP and a small CNN on
+synthetic data, the hot paths of the paper's large-m sweeps (Figs. 12–14) —
+on both execution backends at several cluster sizes, checks that the two
+backends produce the same trajectory and that ``backend="auto"`` resolves to
+the bank for every family, and writes the results to ``BENCH_backend.json``
+so the performance trajectory is tracked across PRs.
 
 Runs standalone (no pytest-benchmark needed)::
 
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py
-    PYTHONPATH=src python benchmarks/bench_backend_speedup.py --workers 2 --rounds 2
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py --workers 2 --rounds 2 --models cnn
 """
 
 from __future__ import annotations
@@ -29,24 +30,41 @@ import numpy as np
 
 from repro.data.synthetic import make_gaussian_blobs
 from repro.distributed.cluster import SimulatedCluster
+from repro.models.cnn import SmallCNN
 from repro.models.mlp import MLP
 from repro.runtime.distributions import ConstantDelay
 from repro.runtime.network import NetworkModel
 from repro.runtime.simulator import RuntimeSimulator
 
-N_FEATURES = 32
 N_CLASSES = 10
-HIDDEN = (64, 32)
 BATCH_SIZE = 8
 LR = 0.05
 MOMENTUM = 0.9
 SEED = 11
 
+#: The two model families of the paper's experiments: the dense stand-in and
+#: the conv path (im2col + batched matmul on the bank backend).
+FAMILIES = {
+    "mlp": {
+        "n_features": 32,
+        "model_fn": lambda: MLP(32, N_CLASSES, hidden_sizes=(64, 32), rng=42),
+        "label": "mlp(64, 32)",
+    },
+    "cnn": {
+        "n_features": 3 * 8 * 8,
+        "model_fn": lambda: SmallCNN(
+            in_channels=3, image_size=8, channels=(8, 16), n_classes=N_CLASSES, rng=42
+        ),
+        "label": "cnn(8, 16) on 3x8x8",
+    },
+}
 
-def build_cluster(backend: str, n_workers: int) -> SimulatedCluster:
+
+def build_cluster(backend: str, family: str, n_workers: int) -> SimulatedCluster:
+    spec = FAMILIES[family]
     dataset = make_gaussian_blobs(
         n_samples=max(50 * n_workers, 800),
-        n_features=N_FEATURES,
+        n_features=spec["n_features"],
         n_classes=N_CLASSES,
         class_sep=1.0,
         rng=3,
@@ -54,12 +72,8 @@ def build_cluster(backend: str, n_workers: int) -> SimulatedCluster:
     runtime = RuntimeSimulator(
         ConstantDelay(1.0), NetworkModel(2.0, "constant"), n_workers=n_workers, rng=0
     )
-
-    def model_fn():
-        return MLP(N_FEATURES, N_CLASSES, hidden_sizes=HIDDEN, rng=42)
-
     return SimulatedCluster(
-        model_fn=model_fn,
+        model_fn=spec["model_fn"],
         dataset=dataset,
         runtime=runtime,
         n_workers=n_workers,
@@ -72,11 +86,11 @@ def build_cluster(backend: str, n_workers: int) -> SimulatedCluster:
     )
 
 
-def time_backend(backend: str, n_workers: int, rounds: int, tau: int, repeats: int):
+def time_backend(backend: str, family: str, n_workers: int, rounds: int, tau: int, repeats: int):
     """Best-of-``repeats`` wall-clock time and the final loss (for parity checks)."""
     best, final_loss = float("inf"), float("nan")
     for _ in range(repeats):
-        cluster = build_cluster(backend, n_workers)
+        cluster = build_cluster(backend, family, n_workers)
         start = time.perf_counter()
         for _ in range(rounds):
             final_loss = cluster.run_round(tau)
@@ -88,6 +102,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", default="4,8,16",
                         help="comma-separated cluster sizes to benchmark")
+    parser.add_argument("--models", default="mlp,cnn",
+                        help=f"comma-separated model families ({', '.join(FAMILIES)})")
     parser.add_argument("--rounds", type=int, default=6, help="PASGD rounds per run")
     parser.add_argument("--tau", type=int, default=10, help="local steps per round")
     parser.add_argument("--repeats", type=int, default=3,
@@ -97,33 +113,52 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     worker_counts = [int(m) for m in args.workers.split(",")]
-    results = []
-    print(f"backend speedup: MLP{HIDDEN} on {N_FEATURES} features, "
-          f"batch {BATCH_SIZE}, {args.rounds} rounds x tau={args.tau}")
-    print(f"{'m':>4} {'loop (s)':>10} {'vectorized (s)':>15} {'speedup':>8}")
-    for m in worker_counts:
-        loop_s, loop_loss = time_backend("loop", m, args.rounds, args.tau, args.repeats)
-        vec_s, vec_loss = time_backend("vectorized", m, args.rounds, args.tau, args.repeats)
-        if not np.isclose(loop_loss, vec_loss, atol=1e-6):
+    families = [f.strip() for f in args.models.split(",") if f.strip()]
+    unknown = [f for f in families if f not in FAMILIES]
+    if unknown:
+        raise SystemExit(f"unknown model families {unknown}; choose from {list(FAMILIES)}")
+
+    # Every family must resolve auto -> the bank backend (the PR 4 contract:
+    # the loop is only the reference implementation now).
+    auto_backend = {}
+    for family in families:
+        auto_backend[family] = build_cluster("auto", family, worker_counts[0]).backend_name
+        if auto_backend[family] != "vectorized":
             raise SystemExit(
-                f"backend mismatch at m={m}: loop loss {loop_loss} vs vectorized {vec_loss}"
+                f"model family {family!r} resolved auto -> {auto_backend[family]!r}; "
+                f"expected the vectorized bank backend"
             )
-        speedup = loop_s / vec_s
-        results.append(
-            {
-                "n_workers": m,
-                "loop_seconds": round(loop_s, 6),
-                "vectorized_seconds": round(vec_s, 6),
-                "speedup": round(speedup, 3),
-                "final_loss": round(float(vec_loss), 8),
-            }
-        )
-        print(f"{m:>4} {loop_s:>10.3f} {vec_s:>15.3f} {speedup:>7.1f}x")
+
+    results = []
+    for family in families:
+        print(f"backend speedup: {FAMILIES[family]['label']}, batch {BATCH_SIZE}, "
+              f"{args.rounds} rounds x tau={args.tau}  (auto -> {auto_backend[family]})")
+        print(f"{'m':>4} {'loop (s)':>10} {'vectorized (s)':>15} {'speedup':>8}")
+        for m in worker_counts:
+            loop_s, loop_loss = time_backend("loop", family, m, args.rounds, args.tau, args.repeats)
+            vec_s, vec_loss = time_backend("vectorized", family, m, args.rounds, args.tau, args.repeats)
+            if not np.isclose(loop_loss, vec_loss, atol=1e-6):
+                raise SystemExit(
+                    f"backend mismatch for {family} at m={m}: loop loss {loop_loss} "
+                    f"vs vectorized {vec_loss}"
+                )
+            speedup = loop_s / vec_s
+            results.append(
+                {
+                    "model": family,
+                    "n_workers": m,
+                    "loop_seconds": round(loop_s, 6),
+                    "vectorized_seconds": round(vec_s, 6),
+                    "speedup": round(speedup, 3),
+                    "final_loss": round(float(vec_loss), 8),
+                }
+            )
+            print(f"{m:>4} {loop_s:>10.3f} {vec_s:>15.3f} {speedup:>7.1f}x")
 
     payload = {
         "benchmark": "bench_backend_speedup",
-        "model": f"mlp{HIDDEN}",
-        "n_features": N_FEATURES,
+        "models": {f: FAMILIES[f]["label"] for f in families},
+        "auto_backend": auto_backend,
         "batch_size": BATCH_SIZE,
         "rounds": args.rounds,
         "tau": args.tau,

@@ -67,7 +67,7 @@ from repro.experiments import (
     run_method,
 )
 from repro.optim import SGD, BlockMomentum, ConstantLR, MultiStepLR, TauGatedStepLR
-from repro.sweep import ResultStore, SweepRunner, SweepSpec, grid, run_sweep
+from repro.sweep import ResultStore, SweepRunner, SweepSpec, grid, paired, run_sweep
 from repro.runtime import (
     ConstantDelay,
     ExponentialDelay,
@@ -124,5 +124,6 @@ __all__ = [
     "SweepRunner",
     "run_sweep",
     "grid",
+    "paired",
     "__version__",
 ]

@@ -6,19 +6,22 @@ learning-rate and momentum control, model materialization for evaluation —
 to a backend implementing :class:`WorkerBackend`.  Two backends exist:
 
 * :class:`LoopWorkers` (this module) — one :class:`Worker` object per
-  replica, stepped in a Python loop.  This is the seed behaviour and the
-  fallback for models without a param-bank forward path (CNNs, batch-norm
-  nets) and for data-free objectives.
+  replica, stepped in a Python loop.  This is the seed behaviour, kept as
+  the *reference implementation*: the equivalence suite checks the bank
+  against it byte for byte, and third-party models without a ``bank_loss``
+  still run here.
 * :class:`~repro.distributed.worker_bank.WorkerBank` — all replicas stacked
   along a leading worker axis and stepped with single NumPy ops (the
-  vectorized path; see ``repro.nn.bank``).
+  vectorized path; see ``repro.nn.bank``).  Covers every built-in model:
+  dense nets, CNNs, batch-norm nets, live dropout, and data-free objectives.
 
 Backends register by name in :data:`repro.api.registries.BACKENDS` and share
 one constructor signature, so ``SimulatedCluster(..., backend="vectorized")``
 and the CLI's ``--backend`` flag switch them declaratively; ``"auto"`` picks
-the vectorized bank whenever the model and data support it.  Both backends
-consume the per-worker RNG streams identically, so switching backends does
-not perturb the experiment's sampling sequences.
+the vectorized bank whenever the model supports it — which every model in
+the ``MODELS`` registry does.  Both backends consume the per-worker RNG
+streams identically (data sampling, dropout masks, gradient noise), so a
+seeded run's trajectory is byte-identical on either backend.
 """
 
 from __future__ import annotations

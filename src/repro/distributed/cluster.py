@@ -63,10 +63,11 @@ class SimulatedCluster:
         Optional global block-momentum post-processing of each average.
     backend:
         Worker-execution backend name: ``"loop"`` (one ``Worker`` per
-        replica), ``"vectorized"`` (stacked worker bank), or ``"auto"``
-        (vectorized when the model/data support it, else loop).  Both
-        backends consume the same RNG streams, so seeded runs agree across
-        backends up to floating-point reduction order.
+        replica, the reference implementation), ``"vectorized"`` (stacked
+        worker bank), or ``"auto"`` (vectorized whenever the model supports
+        it — all built-in models do — else loop).  Both backends consume the
+        same RNG streams, so seeded runs produce byte-identical trajectories
+        on either backend.
     weighting:
         How the averaging collective weights worker states: ``"uniform"``
         (the paper's setting, eq. 3) or ``"shard_size"`` — FedAvg-style

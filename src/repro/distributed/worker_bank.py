@@ -9,11 +9,17 @@ and runs every local SGD step for all workers as batched NumPy ops
 (``repro.nn`` param-bank forward + :class:`~repro.optim.bank_sgd.BankSGD`).
 
 Because the bank consumes each shard's RNG stream exactly as the loop
-backend's per-worker loaders do, a seeded run produces the same trajectory
-on either backend (up to floating-point reduction order).  Models without a
-param-bank forward path (CNNs, batch-norm nets) and data-free objectives
-raise :class:`BackendUnsupported` *before* consuming any RNG state, so
-``backend="auto"`` can fall back to the loop backend transparently.
+backend's per-worker loaders do — and stochastic modules (dropout, data-free
+noise models) are handed the per-worker streams the loop replicas would own
+(:func:`repro.nn.bank.attach_bank_streams`) — a seeded run produces a
+byte-identical trajectory on either backend.  Every built-in model runs
+here: dense nets, CNNs (im2col with the worker axis folded into the batch
+axis), batch-norm nets (per-worker ``(m, F)`` running-stat buffers), live
+dropout, and data-free quadratic objectives (``shards=[None, ...]``).  The
+loop backend remains as the reference implementation for equivalence tests;
+third-party models without a ``bank_loss`` still raise
+:class:`BackendUnsupported` *before* consuming any RNG state, so
+``backend="auto"`` falls back transparently.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from repro.api.registries import BACKENDS
 from repro.data.bank_loader import BankLoader
 from repro.data.synthetic import Dataset
 from repro.distributed.backends import BackendUnsupported, WorkerBackend
-from repro.nn.bank import ParameterBank, bank_compatible
+from repro.nn.bank import ParameterBank, attach_bank_streams, bank_compatible
 from repro.nn.layers import Module
 from repro.nn.tensor import Tensor
 from repro.optim.bank_sgd import BankSGD
@@ -55,7 +61,7 @@ class BankWorkerView:
 
     @property
     def model(self) -> Module:
-        return self._backend.materialize(self.get_parameters())
+        return self._backend.materialize(self.get_parameters(), self.worker_id)
 
     @property
     def last_loss(self) -> float:
@@ -87,30 +93,41 @@ class WorkerBank(WorkerBackend):
         template: Module | None = None,
     ):
         if not shards:
-            raise ValueError("need at least one shard")
+            raise ValueError("need at least one shard (use [None, ...] for data-free runs)")
         if template is None:
             template = model_fn()
-        # All unsupported-setup checks come before any RNG stream is consumed
-        # (BankLoader validates batch sizes before building its per-shard
-        # loaders), so "auto" can fall back to the loop backend with pristine
-        # streams.
+        # All unsupported-setup checks come before any RNG stream (or extra
+        # model_fn call) is consumed, so "auto" can fall back to the loop
+        # backend with pristine streams and an unperturbed factory.
         if not bank_compatible(template):
             raise BackendUnsupported(
                 f"model {type(template).__name__} has no param-bank forward path; "
                 f"use the 'loop' backend"
             )
-        if any(shard is None for shard in shards):
+        data_free = all(shard is None for shard in shards)
+        if not data_free and any(shard is None for shard in shards):
             raise BackendUnsupported(
-                "the vectorized backend needs a dataset shard per worker"
+                "the vectorized backend needs a dataset shard per worker "
+                "(or None for every worker on data-free objectives)"
             )
-        try:
-            loader = BankLoader(shards, batch_size, rngs=rngs)
-        except ValueError as err:
-            raise BackendUnsupported(f"stacked sampling unavailable: {err}") from err
+        if data_free:
+            loader = None
+        else:
+            try:
+                loader = BankLoader(shards, batch_size, rngs=rngs)
+            except ValueError as err:
+                raise BackendUnsupported(f"stacked sampling unavailable: {err}") from err
+        # Stochastic modules (dropout masks, data-free gradient noise) need
+        # one RNG stream per worker.  Build the replicas the loop backend
+        # would have built — consuming model_fn exactly as it would — and
+        # hand the template their streams; stream-free models skip this and
+        # keep the bank's one-replica construction cost.
+        if any(True for _ in template.stream_modules()):
+            attach_bank_streams(template, [model_fn() for _ in range(len(shards) - 1)])
         self.model = template
         self.bank = ParameterBank(template, len(shards))
         self.loader = loader
-        self._shard_sizes = [len(shard) for shard in shards]
+        self._shard_sizes = None if data_free else [len(shard) for shard in shards]
         self.optimizer = BankSGD(
             self.bank, lr=lr, momentum=momentum, weight_decay=weight_decay
         )
@@ -124,10 +141,10 @@ class WorkerBank(WorkerBackend):
 
     @property
     def batch_size(self) -> int:
-        return self.loader.batch_size
+        return self.loader.batch_size if self.loader is not None else 0
 
-    def shard_sizes(self) -> list[int]:
-        return list(self._shard_sizes)
+    def shard_sizes(self) -> "list[int] | None":
+        return None if self._shard_sizes is None else list(self._shard_sizes)
 
     def initial_state(self) -> np.ndarray:
         return self.bank.worker_flat(0)
@@ -135,9 +152,13 @@ class WorkerBank(WorkerBackend):
     # -- training ------------------------------------------------------------
     def local_step(self) -> np.ndarray:
         """One local mini-batch SGD update for all workers; per-worker losses."""
-        X, y = self.loader.next_batches()
+        if self.loader is not None:
+            X, y = self.loader.next_batches()
+            X = Tensor(X)
+        else:
+            X, y = None, None
         self.optimizer.zero_grad()
-        losses = self.model.bank_loss(Tensor(X), y, self.bank.params)
+        losses = self.model.bank_loss(X, y, self.bank.state())
         # Summing the (m,) losses back-propagates each worker's own batch
         # gradient into its slice of the bank (cross-worker terms are zero).
         losses.sum().backward()
@@ -169,8 +190,12 @@ class WorkerBank(WorkerBackend):
         self.optimizer.reset_momentum()
 
     # -- evaluation ----------------------------------------------------------------
-    def materialize(self, flat: np.ndarray) -> Module:
+    def materialize(self, flat: np.ndarray, worker_id: int = 0) -> Module:
         self.model.set_flat_parameters(flat)
+        # Buffers (batch-norm running stats) are worker-local state outside
+        # the flat vector; load the requested worker's slices so eval sees
+        # the same statistics the loop backend's worker model would hold.
+        self.bank.load_worker_buffers(self.model, worker_id)
         return self.model
 
     def evaluate_with_state(self, flat: np.ndarray, fn: Callable[[Module], float]):

@@ -68,9 +68,10 @@ class ExperimentConfig:
     hidden_sizes: tuple[int, ...] = ()
     n_classes: int = 10
     # Cluster.  ``backend`` selects the worker-execution engine: "loop" steps
-    # one Worker object per replica, "vectorized" runs all replicas as
-    # stacked NumPy ops, and "auto" (default) picks vectorized whenever the
-    # model/data support it.
+    # one Worker object per replica (the reference implementation),
+    # "vectorized" runs all replicas as stacked NumPy ops, and "auto"
+    # (default) picks vectorized whenever the model supports it — which
+    # every registered model does.
     n_workers: int = 4
     batch_size: int = 8
     backend: str = "auto"

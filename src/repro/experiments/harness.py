@@ -13,8 +13,9 @@ matching), the learning-rate schedule from ``LR_SCHEDULES``, and each method
 spec string ("sync-sgd", "pasgd-tau20", "adacomm", or
 "<schedule>:key=value,...") from ``COMM_SCHEDULES``.  The worker-execution
 backend comes from ``BACKENDS``: the default ``backend="auto"`` runs the
-vectorized worker bank whenever the model supports it and falls back to the
-per-worker loop otherwise (CNNs, batch-norm nets).
+vectorized worker bank for every registered model (CNNs, batch-norm nets,
+dropout, and data-free objectives included); the per-worker loop remains as
+the reference implementation for third-party models without a bank path.
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.layers import AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d, Module, ReLU, Sequential
-from repro.nn.losses import cross_entropy
+from repro.nn.losses import bank_cross_entropy, cross_entropy
 from repro.nn.tensor import Tensor
 from repro.utils.seeding import SeedSequence, check_random_state
 
@@ -75,6 +75,21 @@ class SmallCNN(Module):
 
     def loss(self, x, y: np.ndarray) -> Tensor:
         return cross_entropy(self(x), y)
+
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        if x.ndim == 3:
+            # Stacked flat inputs (m, B, F) -> stacked NCHW, mirroring forward.
+            m, b = x.shape[0], x.shape[1]
+            x = x.reshape(m, b, self.in_channels, self.image_size, self.image_size)
+        elif x.ndim != 5:
+            raise ValueError(f"SmallCNN bank_forward expects (m, B, F) or (m, B, C, H, W), got {x.shape}")
+        h = self.features.bank_forward(x, params, f"{prefix}features.")
+        return self.classifier.bank_forward(h, params, f"{prefix}classifier.")
+
+    def bank_loss(self, x, y: np.ndarray, params) -> Tensor:
+        return bank_cross_entropy(self.bank_forward(x, params), y)
 
 
 def vgg_lite_cnn(n_classes: int = 10, image_size: int = 8, rng=None) -> SmallCNN:

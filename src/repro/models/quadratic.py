@@ -17,6 +17,7 @@ can optimize it unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -117,6 +118,37 @@ class QuadraticObjective:
         g = self.gradient(x)
         return float(g @ g)
 
+    # -- stacked (worker-bank) evaluation -----------------------------------
+    def stacked_values(self, X: np.ndarray) -> np.ndarray:
+        """Exact objective values of m stacked iterates: ``(m, d) -> (m,)``.
+
+        Row i reproduces :meth:`value` on ``X[i]`` with the identical
+        vec-mat-vec evaluation order, so losses logged by the loop and bank
+        backends agree to the last bit.
+        """
+        X = np.asarray(X, dtype=float)
+        return np.array([self.value(x) for x in X])
+
+    def stacked_stochastic_gradients(self, X: np.ndarray, rngs: Sequence | None = None) -> np.ndarray:
+        """Per-worker noisy gradients for m stacked iterates: ``(m, d)``.
+
+        ``rngs[i]`` is worker i's noise stream; row i equals
+        :meth:`stochastic_gradient` on ``(X[i], rngs[i])``, consuming each
+        stream exactly as m independent calls would.  The d×d products stay
+        per-row on purpose: BLAS accumulates GEMV and GEMM differently, and
+        byte-identical cross-backend trajectories outrank the negligible
+        batched-matmul win at these dimensions — the bank's speedup comes
+        from the single stacked autograd/SGD step, not from this d×d matvec.
+        """
+        X = np.asarray(X, dtype=float)
+        if rngs is None:
+            rngs = [None] * len(X)
+        if len(rngs) != len(X):
+            raise ValueError(f"{len(X)} stacked iterates but {len(rngs)} RNG streams")
+        return np.stack(
+            [self.stochastic_gradient(x, rng) for x, rng in zip(X, rngs)]
+        )
+
 
 class NoisyQuadraticProblem(Module):
     """Module wrapper exposing a quadratic objective through the model interface.
@@ -137,6 +169,9 @@ class NoisyQuadraticProblem(Module):
             raise ValueError("x0 must match the objective dimension")
         self.x = Tensor(start, requires_grad=True)
         self._rng = check_random_state(rng)
+        #: Per-worker noise streams for the bank path (wired by
+        #: ``repro.nn.bank.attach_bank_streams`` at backend construction).
+        self._bank_rngs: "list | None" = None
 
     def forward(self, _: Tensor) -> Tensor:  # pragma: no cover - not meaningful here
         return self.x
@@ -155,6 +190,40 @@ class NoisyQuadraticProblem(Module):
         # Linear surrogate: gradient equals g_noisy, value equals exact F(x).
         offset = exact_value - float(g_noisy @ x_val)
         return (self.x * Tensor(g_noisy)).sum() + Tensor(np.array(offset))
+
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        return params[f"{prefix}x"]
+
+    def bank_loss(self, x_batch=None, y_batch=None, params=None) -> Tensor:
+        """Per-worker surrogate losses ``(m,)`` over stacked iterates.
+
+        Entry i mirrors :meth:`loss` at worker i's iterate with worker i's
+        noise stream: the gradient of ``losses.sum()`` w.r.t. the stacked
+        parameter is exactly the m noisy gradients, and each loss value is
+        the exact objective value F(x_i).
+        """
+        X = params["x"]  # (m, d) stacked iterates
+        m = X.shape[0]
+        rngs = self._bank_rngs
+        if self.objective.noise_std > 0:
+            if rngs is None or len(rngs) != m:
+                raise RuntimeError(
+                    "NoisyQuadraticProblem bank_loss needs one noise stream per "
+                    "worker; the worker-bank backend attaches them at "
+                    "construction (see repro.nn.bank.attach_bank_streams)"
+                )
+        else:
+            rngs = [None] * m
+        x_vals = X.data
+        g_noisy = self.objective.stacked_stochastic_gradients(x_vals, rngs)
+        values = self.objective.stacked_values(x_vals)
+        offsets = values - np.array(
+            [float(g @ xv) for g, xv in zip(g_noisy, x_vals)]
+        )
+        return (X * Tensor(g_noisy)).sum(axis=1) + Tensor(offsets)
+
+    def _consumes_stream(self) -> bool:
+        return self.objective.noise_std > 0
 
     def current_value(self) -> float:
         """Exact objective value at the current iterate."""

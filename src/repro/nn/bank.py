@@ -1,29 +1,40 @@
-"""Stacked parameter banks for the vectorized worker-bank backend.
+"""Stacked param+buffer banks for the vectorized worker-bank backend.
 
 All m worker replicas in a simulated PASGD cluster share one architecture and
-differ only in parameter *values*.  :class:`ParameterBank` exploits that: it
-stores every parameter of a template module stacked along a leading worker
-axis — ``(m, *shape)`` — so that one batched NumPy op (matmul broadcasting
-over the leading axis, see :meth:`Module.bank_forward`) executes the
-corresponding computation for all workers at once instead of looping the m
-replicas in Python.
+differ only in *values*.  :class:`ParameterBank` exploits that: it stores
+every parameter of a template module stacked along a leading worker axis —
+``(m, *shape)`` — so that one batched NumPy op (matmul broadcasting over the
+leading axis, see :meth:`Module.bank_forward`) executes the corresponding
+computation for all workers at once instead of looping the m replicas in
+Python.  Non-trainable *buffers* (batch-norm running statistics) are stacked
+the same way but stay outside the autograd graph and outside the flat
+parameter vector: model averaging broadcasts parameters only, so each
+worker's statistics remain local — exactly the loop backend's (and common
+DDP) semantics.
 
 The per-worker flat layout matches :meth:`Module.get_flat_parameters`
 exactly, so bank states interoperate unchanged with the model-averaging
 collective, the loop backend, and everything else that speaks flat parameter
 vectors.
+
+:func:`attach_bank_streams` completes the equivalence story for stochastic
+layers: the template's RNG-consuming modules (dropout, data-free noise
+models) are handed the m per-worker generators that the loop backend's
+replicas would own, so seeded mask/noise draws are byte-identical — stream
+positions included — on either backend.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Sequence
 
 import numpy as np
 
 from repro.nn.layers import Module
 from repro.nn.tensor import Tensor
 
-__all__ = ["ParameterBank", "bank_compatible"]
+__all__ = ["ParameterBank", "bank_compatible", "attach_bank_streams"]
 
 
 def bank_compatible(model: Module) -> bool:
@@ -40,14 +51,38 @@ def bank_compatible(model: Module) -> bool:
     )
 
 
+def attach_bank_streams(template: Module, replicas: Sequence[Module]) -> None:
+    """Wire per-worker RNG streams into the template's stream modules.
+
+    ``replicas`` are worker 1..m-1's would-be loop replicas (built by the
+    same ``model_fn`` the loop backend would call); the template itself
+    serves worker 0.  After this call every module yielded by
+    :meth:`Module.stream_modules` holds ``_bank_rngs = [stream_0, ...,
+    stream_{m-1}]`` positioned exactly where the loop backend's per-replica
+    generators would be, which is what makes the bank's stacked mask/noise
+    draws stream-equivalent to the loop.
+    """
+    template_mods = list(template.stream_modules())
+    replica_mods = [list(replica.stream_modules()) for replica in replicas]
+    for mods in replica_mods:
+        if len(mods) != len(template_mods):
+            raise ValueError(
+                f"replica has {len(mods)} stream module(s), template has "
+                f"{len(template_mods)}; architectures must match"
+            )
+    for idx, mod in enumerate(template_mods):
+        mod._bank_rngs = [mod._rng] + [mods[idx]._rng for mods in replica_mods]
+
+
 class ParameterBank:
-    """The parameters of m identical replicas, stacked along a worker axis.
+    """The params + buffers of m identical replicas, stacked per worker.
 
     Parameters
     ----------
     template:
         A module whose current parameter values seed every worker slice (the
-        paper requires all workers to start from the same ``x1``).
+        paper requires all workers to start from the same ``x1``); its buffer
+        values seed every worker's buffer slice the same way.
     n_workers:
         Number of replicas m stacked along the leading axis.
     """
@@ -63,10 +98,24 @@ class ParameterBank:
         if not self.params:
             raise ValueError("template model has no trainable parameters")
         self.n_parameters = sum(t.data[0].size for t in self.params.values())
+        #: Stacked ``(m, *shape)`` non-trainable buffers (e.g. batch-norm
+        #: running stats), updated in place by ``bank_forward`` and excluded
+        #: from the flat vectors — averaging leaves them worker-local.
+        self.buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, b in template.named_buffers():
+            self.buffers[name] = np.repeat(b[None, ...], self.n_workers, axis=0)
 
     def tensors(self) -> list[Tensor]:
         """The stacked parameter tensors, in flat-layout order."""
         return list(self.params.values())
+
+    def state(self) -> dict:
+        """The mapping handed to ``bank_forward``: parameter tensors plus
+        buffer arrays, keyed by fully-qualified name.  Buffer entries are the
+        live stacked arrays — layers momentum-update them in place."""
+        merged: dict = dict(self.params)
+        merged.update(self.buffers)
+        return merged
 
     def zero_grad(self) -> None:
         for t in self.params.values():
@@ -126,6 +175,18 @@ class ParameterBank:
             t.data[worker_id] = flat[offset : offset + n].reshape(t.data.shape[1:])
             offset += n
 
+    # -- buffer interop ------------------------------------------------------
+    def worker_buffers(self, worker_id: int) -> "OrderedDict[str, np.ndarray]":
+        """Copies of one worker's buffer slices, keyed by qualified name."""
+        self._check_worker(worker_id)
+        return OrderedDict((name, b[worker_id].copy()) for name, b in self.buffers.items())
+
+    def load_worker_buffers(self, module: Module, worker_id: int) -> None:
+        """Materialize one worker's buffer slices into ``module`` (eval scratch)."""
+        self._check_worker(worker_id)
+        for name, b in self.buffers.items():
+            module.set_buffer(name, b[worker_id].copy())
+
     def _check_worker(self, worker_id: int) -> None:
         if not 0 <= worker_id < self.n_workers:
             raise IndexError(f"worker_id {worker_id} out of range [0, {self.n_workers})")
@@ -133,5 +194,6 @@ class ParameterBank:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ParameterBank(n_workers={self.n_workers}, "
-            f"n_parameters={self.n_parameters}, params={len(self.params)})"
+            f"n_parameters={self.n_parameters}, params={len(self.params)}, "
+            f"buffers={len(self.buffers)})"
         )

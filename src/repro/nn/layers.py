@@ -45,6 +45,7 @@ class Module:
     def __init__(self) -> None:
         self._parameters: "OrderedDict[str, Tensor]" = OrderedDict()
         self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self.training = True
 
     # -- attribute magic -------------------------------------------------
@@ -53,6 +54,11 @@ class Module:
             self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
         elif isinstance(value, Module):
             self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        elif name in self.__dict__.get("_buffers", {}):
+            # Re-assignment to a registered buffer keeps it registered
+            # (BatchNorm rebinds its running stats every training step).
+            value = np.asarray(value, dtype=float)
+            self.__dict__["_buffers"][name] = value
         object.__setattr__(self, name, value)
 
     # -- parameter access -------------------------------------------------
@@ -72,6 +78,43 @@ class Module:
     def num_parameters(self) -> int:
         """Total number of scalar parameters."""
         return sum(p.size for p in self.parameters())
+
+    # -- buffer access -----------------------------------------------------
+    def register_buffer(self, name: str, value) -> None:
+        """Register per-replica state that is *not* a trainable parameter.
+
+        Buffers (e.g. batch-norm running statistics) are excluded from the
+        flat parameter vector, so model averaging leaves each worker's copy
+        local — matching common DDP semantics.  The vectorized worker-bank
+        backend stacks them per worker alongside the parameters (see
+        :class:`repro.nn.bank.ParameterBank`).
+        """
+        arr = np.asarray(value, dtype=float)
+        self.__dict__.setdefault("_buffers", OrderedDict())[name] = arr
+        object.__setattr__(self, name, arr)
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, b in self._buffers.items():
+            yield (f"{prefix}{name}", b)
+        for mod_name, mod in self._modules.items():
+            yield from mod.named_buffers(prefix=f"{prefix}{mod_name}.")
+
+    def buffers(self) -> Iterator[np.ndarray]:
+        for _, b in self.named_buffers():
+            yield b
+
+    def set_buffer(self, name: str, value) -> None:
+        """Assign a buffer by fully-qualified dotted name (see ``named_buffers``)."""
+        *path, leaf = name.split(".")
+        mod: Module = self
+        for part in path:
+            try:
+                mod = mod._modules[part]
+            except KeyError:
+                raise KeyError(f"no submodule {part!r} on the path to buffer {name!r}") from None
+        if leaf not in mod._buffers:
+            raise KeyError(f"module {type(mod).__name__} has no buffer {leaf!r}")
+        setattr(mod, leaf, value)
 
     def zero_grad(self) -> None:
         for p in self.parameters():
@@ -177,6 +220,26 @@ class Module:
             return False
         return all(mod.supports_bank() for mod in self._modules.values())
 
+    # -- per-worker RNG streams (vectorized worker-bank backend) ---------------
+    def stream_modules(self) -> Iterator["Module"]:
+        """Depth-first modules that consume a private RNG stream while training.
+
+        On the loop backend each of the m replicas owns its own stream (e.g.
+        a ``Dropout`` layer's mask generator).  The worker-bank backend runs
+        one template module for all m workers, so it pairs every stream
+        module here with the m per-worker streams a loop run would have built
+        (see :func:`repro.nn.bank.attach_bank_streams`) — that is what keeps
+        seeded trajectories byte-identical across backends.
+        """
+        if self._consumes_stream():
+            yield self
+        for mod in self._modules.values():
+            yield from mod.stream_modules()
+
+    def _consumes_stream(self) -> bool:
+        """Whether *this* module draws from an RNG during a training forward."""
+        return False
+
     @staticmethod
     def _as_bank_input(x) -> Tensor:
         """Coerce a stacked batch to a ``(m, B, F)`` tensor (models' prelude)."""
@@ -263,6 +326,10 @@ class Dropout(Module):
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
         self._rng = check_random_state(rng)
+        #: Per-worker mask streams for the bank path; worker i's generator
+        #: must sit exactly where loop replica i's ``_rng`` would (wired by
+        #: ``repro.nn.bank.attach_bank_streams`` at backend construction).
+        self._bank_rngs: "list | None" = None
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
@@ -271,19 +338,25 @@ class Dropout(Module):
         return x * Tensor(mask)
 
     def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
-        if self.training and self.p > 0.0:
-            raise NotImplementedError(
-                "Dropout has no stream-equivalent param-bank forward; "
-                "use the 'loop' backend for models with live dropout"
+        if not self.training or self.p == 0.0:
+            return x
+        rngs = self._bank_rngs
+        if rngs is None or len(rngs) != x.shape[0]:
+            raise RuntimeError(
+                "Dropout bank_forward needs one RNG stream per worker; the "
+                "worker-bank backend attaches them at construction (see "
+                "repro.nn.bank.attach_bank_streams)"
             )
-        return x
+        # One draw of shape (B, ...) per worker stream — each generator is
+        # consumed exactly as its loop replica's would be, so a seeded run
+        # produces byte-identical masks (and stream positions) on either
+        # backend.  Only the draws loop over m; the masking is one op.
+        per_worker = x.shape[1:]
+        mask = (np.stack([rng.random(per_worker) for rng in rngs]) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
 
-    def supports_bank(self) -> bool:
-        # A single mask draw over the (m, B, ...) stack cannot reproduce the
-        # per-worker RNG streams of m loop replicas, and seeded runs must not
-        # change with the backend — so a live dropout keeps the model on the
-        # loop backend.  p = 0 is a no-op and stacks fine.
-        return self.p == 0.0
+    def _consumes_stream(self) -> bool:
+        return self.p > 0.0
 
 
 class Sequential(Module):
@@ -415,6 +488,54 @@ class Conv2d(Module):
 
         return x._make(out_data, parents, backward)
 
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        """All m workers' convolutions in one batched matmul.
+
+        The worker axis is folded into the batch axis for the im2col patch
+        extraction — one strided view over ``(m·B, c, h, w)`` — and only the
+        weights stay per-worker: ``(m, B·oh·ow, c·kh·kw) @ (m, c·kh·kw,
+        out_c)``.  NumPy's stacked matmul runs the identical per-slice GEMM a
+        loop replica would, so the outputs (and gradients) are byte-identical
+        to m single-replica convolutions.
+        """
+        if x.ndim != 5:
+            raise ValueError(f"Conv2d bank_forward expects (m, B, C, H, W) input, got shape {x.shape}")
+        weight = params[f"{prefix}weight"]
+        bias = params[f"{prefix}bias"] if self.bias is not None else None
+
+        kh = kw = self.kernel_size
+        stride, pad = self.stride, self.padding
+        x_data = x.data
+        if pad:
+            x_data = np.pad(x_data, ((0, 0), (0, 0), (0, 0), (pad, pad), (pad, pad)))
+        m, b, c, h, w = x_data.shape
+        cols, out_h, out_w = _im2col(x_data.reshape(m * b, c, h, w), kh, kw, stride)
+        cols3 = cols.reshape(m, b * out_h * out_w, c * kh * kw)
+        w_mat = weight.data.reshape(m, self.out_channels, -1).transpose(0, 2, 1)
+        out_cols = cols3 @ w_mat  # (m, B·oh·ow, out_c)
+        out_data = out_cols.reshape(m, b, out_h, out_w, self.out_channels).transpose(0, 1, 4, 2, 3)
+        if bias is not None:
+            out_data = out_data + bias.data.reshape(m, 1, -1, 1, 1)
+
+        padded_shape = (m * b, c, h, w)
+        parents = (x, weight) if bias is None else (x, weight, bias)
+
+        def backward(g):
+            # g: (m, B, out_c, oh, ow)
+            g_cols = g.transpose(0, 1, 3, 4, 2).reshape(m, b * out_h * out_w, self.out_channels)
+            dw = (cols3.transpose(0, 2, 1) @ g_cols).transpose(0, 2, 1).reshape(weight.shape)
+            dcols = g_cols @ w_mat.transpose(0, 2, 1)
+            dx = _col2im(dcols.reshape(-1, c * kh * kw), padded_shape, kh, kw, stride)
+            dx = dx.reshape(m, b, c, h, w)
+            if pad:
+                dx = dx[:, :, :, pad:-pad, pad:-pad]
+            if bias is None:
+                return (dx, dw)
+            db = g.sum(axis=(1, 3, 4))
+            return (dx, dw, db)
+
+        return x._make(out_data, parents, backward)
+
 
 class _Pool2d(Module):
     def __init__(self, kernel_size: int, stride: int | None = None):
@@ -423,6 +544,16 @@ class _Pool2d(Module):
             raise ValueError("kernel_size must be positive")
         self.kernel_size = kernel_size
         self.stride = stride or kernel_size
+
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        # Pooling has no parameters, so the worker axis simply folds into the
+        # batch axis and the single-replica window arithmetic runs unchanged
+        # (byte-identical per slice); the reshapes route gradients back.
+        if x.ndim != 5:
+            raise ValueError(f"pooling bank_forward expects (m, B, C, H, W) input, got shape {x.shape}")
+        m, b = x.shape[0], x.shape[1]
+        out = self.forward(x.reshape(m * b, *x.shape[2:]))
+        return out.reshape(m, b, *out.shape[1:])
 
 
 class MaxPool2d(_Pool2d):
@@ -509,8 +640,8 @@ class BatchNorm1d(Module):
         self.momentum = momentum
         self.weight = Tensor(np.ones(num_features), requires_grad=True)
         self.bias = Tensor(np.zeros(num_features), requires_grad=True)
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 2:
@@ -529,6 +660,46 @@ class BatchNorm1d(Module):
         else:
             x_hat = (x - Tensor(self.running_mean)) / Tensor(np.sqrt(self.running_var + self.eps))
         return x_hat * self.weight + self.bias
+
+    def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
+        """Normalize all m workers' batches under per-worker γ/β and stats.
+
+        ``params`` must be a param+buffer mapping (``ParameterBank.state()``):
+        the ``(m, F)`` running-stat buffers are read — and, in training mode,
+        momentum-updated in place — per worker, exactly as m loop replicas
+        would update their local copies.
+        """
+        if x.ndim != 3:
+            raise ValueError("BatchNorm1d bank_forward expects (m, B, F) input")
+        weight = params[f"{prefix}weight"]
+        bias = params[f"{prefix}bias"]
+        try:
+            running_mean = params[f"{prefix}running_mean"]
+            running_var = params[f"{prefix}running_var"]
+        except KeyError:
+            raise KeyError(
+                "BatchNorm1d bank_forward needs the stacked running-stat buffers; "
+                "pass ParameterBank.state() (params + buffers), not .params alone"
+            ) from None
+        m = x.shape[0]
+        if self.training:
+            mean = x.mean(axis=1, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=1, keepdims=True)
+            running_mean[...] = (
+                (1 - self.momentum) * running_mean + self.momentum * mean.data.reshape(m, -1)
+            )
+            running_var[...] = (
+                (1 - self.momentum) * running_var + self.momentum * var.data.reshape(m, -1)
+            )
+            x_hat = centered / (var + self.eps).sqrt()
+        else:
+            x_hat = (x - Tensor(running_mean[:, None, :])) / Tensor(
+                np.sqrt(running_var[:, None, :] + self.eps)
+            )
+        w = weight.reshape(m, 1, self.num_features)
+        b = bias.reshape(m, 1, self.num_features)
+        return x_hat * w + b
 
 
 class Residual(Module):

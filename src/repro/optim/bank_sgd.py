@@ -7,6 +7,12 @@ elementwise, one NumPy op per parameter updates every replica at once, and
 each worker slice follows the same trajectory it would under m independent
 ``SGD`` instances.  ``reset_momentum`` clears the stacked velocity buffers at
 averaging steps, as block momentum requires (Section 5.3.1).
+
+The optimizer touches the bank's *parameters* only: stacked model buffers
+(batch-norm running stats) are forward-pass state, updated in place by
+``bank_forward`` and deliberately left alone both here and by the averaging
+collective — each worker's statistics stay local, exactly as the loop
+backend's per-replica modules keep theirs.
 """
 
 from __future__ import annotations

@@ -5,10 +5,14 @@ comparisons, scaling sweeps over m) are *campaigns* of many seeded runs.
 This package makes a campaign a first-class, declarative object:
 
 * :class:`SweepSpec` — a base :class:`~repro.experiments.configs.ExperimentConfig`
-  plus :func:`grid` axes, expanding into content-addressed cells;
+  plus :func:`grid` (cross-product) or :func:`paired` (zipped) axes,
+  expanding into content-addressed cells; ``spec.random(n, seed)`` keeps a
+  seeded random-search subsample of the expansion;
 * :class:`ResultStore` — a persistent on-disk store keyed by the hash of
   each cell's canonical config dict, so completed cells are never re-run
-  and a killed campaign resumes for free;
+  and a killed campaign resumes for free; ``merge_from`` unions stores from
+  different machines and ``gc`` prunes cells no manifest references (both
+  also on the CLI: ``python -m repro.sweep {merge,gc}``);
 * :class:`SweepRunner` / :func:`run_sweep` — serial or process-parallel
   execution with live progress and a :class:`SweepReport`;
 * named campaigns in the ``SWEEPS`` registry (``repro.sweep.campaigns``).
@@ -29,17 +33,19 @@ address is already populated — and the figure/table helpers in
 """
 
 from repro.sweep.runner import SweepReport, SweepRunner, run_sweep
-from repro.sweep.spec import SweepCell, SweepSpec, cell_hash, derive_cell_seed, grid
-from repro.sweep.store import CellResult, ResultStore
+from repro.sweep.spec import SweepCell, SweepSpec, cell_hash, derive_cell_seed, grid, paired
+from repro.sweep.store import CellResult, MergeReport, ResultStore
 
 __all__ = [
     "SweepSpec",
     "SweepCell",
     "grid",
+    "paired",
     "cell_hash",
     "derive_cell_seed",
     "ResultStore",
     "CellResult",
+    "MergeReport",
     "SweepRunner",
     "SweepReport",
     "run_sweep",

@@ -1,0 +1,102 @@
+"""Result-store maintenance verbs: ``python -m repro.sweep {merge,gc}``.
+
+Campaign *execution* lives on the main CLI (``python -m repro --sweep``);
+this entry point maintains the persistent stores those campaigns populate:
+
+* ``merge <src> <dst>`` — union one store's completed cells and campaign
+  manifests into another.  Safe because cells are content-addressed and
+  byte-deterministic: a cell sharded to another machine comes back as the
+  exact bytes a local run would have produced, so merging is file copy plus
+  an equality check.  An address whose bytes *differ* between the stores is
+  a conflict (corrupt store or incompatible code versions) and the merge
+  refuses with exit status 1 — all-or-nothing, the destination is left
+  untouched.
+* ``gc <store>`` — prune cell directories that no campaign manifest under
+  ``sweeps/*.json`` references (orphans left behind by config-schema
+  changes or edited campaign specs).  ``--dry-run`` lists what would be
+  removed without touching the store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sweep.store import ResultStore
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Maintain sweep result stores (merge across machines, prune orphans).",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    merge = sub.add_parser(
+        "merge",
+        help="union SRC's completed cells and manifests into DST "
+        "(refuses if any content address holds differing bytes)",
+    )
+    merge.add_argument("src", help="source store directory")
+    merge.add_argument("dst", help="destination store directory")
+    merge.add_argument("--dry-run", action="store_true",
+                       help="report what would be copied without writing")
+
+    gc = sub.add_parser(
+        "gc",
+        help="prune cells not referenced by any campaign manifest under sweeps/*.json",
+    )
+    gc.add_argument("store", help="store directory to collect")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="list what would be removed without deleting")
+    return parser
+
+
+def _run_merge(args: argparse.Namespace) -> int:
+    report = ResultStore(args.dst).merge_from(ResultStore(args.src), dry_run=args.dry_run)
+    # A refused merge writes nothing, so pending copies are "would copy".
+    prefix = "[merge:dry-run]" if (args.dry_run or not report.ok) else "[merge]"
+    for address in report.copied:
+        print(f"{prefix} copy      {address}")
+    for address in report.identical:
+        print(f"{prefix} identical {address}")
+    for address in report.conflicts:
+        print(f"{prefix} CONFLICT  {address}  (same address, differing bytes)")
+    for name in report.manifests_copied:
+        print(f"{prefix} manifest  {name}")
+    for name in report.manifest_conflicts:
+        print(f"{prefix} MANIFEST CONFLICT  {name}  (same campaign, differing bytes)")
+    print(report.summary())
+    if not report.ok:
+        print(
+            "error: refusing merge (nothing was written) — a content address maps "
+            "to differing bytes; the stores were produced by incompatible code "
+            "versions or one is corrupt",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_gc(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    orphans = store.gc(dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    for address in orphans:
+        print(f"[gc] {verb} {address}")
+    print(f"[gc] {store.root}: {len(orphans)} orphan cell(s) {verb}, "
+          f"{len(store.referenced_addresses())} referenced")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.verb == "merge":
+        return _run_merge(args)
+    return _run_gc(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

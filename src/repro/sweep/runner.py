@@ -166,6 +166,22 @@ class SweepRunner:
             )
 
         report = SweepReport(sweep=spec.name, store=self.store, cells=cells)
+        # The manifest is a pure function of the spec, so record it *before*
+        # executing anything: an interrupted campaign's completed cells stay
+        # referenced (store.gc never collects them) and the resume picks up
+        # exactly the missing addresses.
+        self.store.write_manifest(
+            spec.name,
+            {
+                "name": spec.name,
+                "seed_mode": spec.seed_mode,
+                "axes": {k: list(v) for k, v in spec.axes.items()},
+                "cells": [
+                    {"address": c.address, "overrides": dict(c.overrides)}
+                    for c in cells
+                ],
+            },
+        )
         pending: list[SweepCell] = []
         for cell in unique.values():
             if cell.address in self.store:
@@ -191,18 +207,6 @@ class SweepRunner:
             report.executed.append(address)
             self._emit(f"[sweep] executed {address}  {cell.label}")
 
-        self.store.write_manifest(
-            spec.name,
-            {
-                "name": spec.name,
-                "seed_mode": spec.seed_mode,
-                "axes": {k: list(v) for k, v in spec.axes.items()},
-                "cells": [
-                    {"address": c.address, "overrides": dict(c.overrides)}
-                    for c in cells
-                ],
-            },
-        )
         self._emit(report.summary())
         return report
 

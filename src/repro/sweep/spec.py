@@ -28,17 +28,20 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.experiments.configs import ExperimentConfig
 
-__all__ = ["SweepSpec", "SweepCell", "grid", "cell_hash", "derive_cell_seed"]
+__all__ = ["SweepSpec", "SweepCell", "grid", "paired", "cell_hash", "derive_cell_seed"]
 
 #: Hex digits kept from the SHA-256 digest (64 bits — ample for any campaign).
 HASH_LENGTH = 16
 
 _SEED_MODES = ("shared", "decorrelated")
+_EXPANSIONS = ("grid", "paired")
 
 
 def grid(**axes: Iterable) -> dict[str, list]:
@@ -54,6 +57,35 @@ def grid(**axes: Iterable) -> dict[str, list]:
         if not values:
             raise ValueError(f"sweep axis {name!r} has no values")
         out[name] = values
+    return out
+
+
+class _PairedAxes(dict):
+    """Marker type returned by :func:`paired`: axes to be zipped, not crossed.
+
+    ``SweepSpec`` recognizes the marker and switches itself to
+    ``expansion="paired"``, so the zipping intent travels with the axes and
+    cannot silently degrade into a full cross-product.
+    """
+
+
+def _check_equal_lengths(axes: Mapping[str, Sequence]) -> None:
+    lengths = {name: len(values) for name, values in axes.items()}
+    if len(set(lengths.values())) > 1:
+        raise ValueError(f"paired axes must have equal lengths, got {lengths}")
+
+
+def paired(**axes: Iterable) -> "_PairedAxes":
+    """Equal-length axes zipped positionally instead of cross-multiplied.
+
+    Position i of every axis together forms cell i — a *list of points*
+    rather than a grid, e.g. ``paired(m=[2, 4, 8], tau=[20, 10, 5])`` walks a
+    diagonal of the (m, τ) plane in three cells instead of nine.  The
+    returned mapping carries the pairing as a marker, so
+    ``SweepSpec(name, base, paired(...))`` needs no extra flag.
+    """
+    out = _PairedAxes(grid(**axes))
+    _check_equal_lengths(out)
     return out
 
 
@@ -149,12 +181,27 @@ class SweepSpec:
         (:func:`derive_cell_seed`) and folded back into the config, fully
         decorrelating the grid; the cell's address is then the hash of the
         config as executed, so the two modes can never collide in a store.
+    expansion:
+        ``"grid"`` (default) — the row-major cross-product of the axes.
+        ``"paired"`` — equal-length axes zipped positionally: cell i takes
+        value i of every axis.  Axes built with :func:`paired` carry the
+        mode themselves, so the flag is only needed for plain dict axes.
+    sample_n, sample_seed:
+        When ``sample_n`` is set, a random-search subsample of that many
+        cells is drawn from the expansion with a seeded RNG (see
+        :meth:`random`); enumeration order of the kept cells follows the
+        underlying expansion, so the same ``(n, seed)`` always yields the
+        same campaign.  The store and runner are untouched — a sampled
+        campaign is just a shorter cell list.
     """
 
     name: str
     base: ExperimentConfig
     axes: Mapping[str, Sequence]
     seed_mode: str = "shared"
+    expansion: str = "grid"
+    sample_n: "int | None" = None
+    sample_seed: int = 0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -163,9 +210,20 @@ class SweepSpec:
             raise ValueError(
                 f"unknown seed_mode {self.seed_mode!r}; choose from {list(_SEED_MODES)}"
             )
+        if self.expansion not in _EXPANSIONS:
+            raise ValueError(
+                f"unknown expansion {self.expansion!r}; choose from {list(_EXPANSIONS)}"
+            )
+        if isinstance(self.axes, _PairedAxes):
+            # paired(...) declares the zipping intent with the axes.
+            object.__setattr__(self, "expansion", "paired")
         if not self.axes:
             raise ValueError("a sweep needs at least one axis")
         object.__setattr__(self, "axes", {k: list(v) for k, v in self.axes.items()})
+        if self.expansion == "paired":
+            _check_equal_lengths(self.axes)
+        if self.sample_n is not None and self.sample_n < 1:
+            raise ValueError(f"sample_n must be >= 1, got {self.sample_n}")
         seen_fields: dict[str, str] = {}
         for axis, values in self.axes.items():
             if not values:
@@ -179,25 +237,51 @@ class SweepSpec:
                 seen_fields[target] = axis
         self.base.to_dict()  # fails loudly on non-serializable configs
 
+    def random(self, n: int, seed: int = 0) -> "SweepSpec":
+        """Random-search variant: keep a seeded sample of ``n`` cells.
+
+        Purely declarative — returns a new spec; the sample is drawn without
+        replacement inside :meth:`cells`, so the same ``(n, seed)`` always
+        names the same sub-campaign and resumes from the store for free.
+        """
+        if n < 1:
+            raise ValueError(f"random sample size must be >= 1, got {n}")
+        return replace(self, sample_n=int(n), sample_seed=int(seed))
+
+    def _combos(self) -> "list[tuple]":
+        values = [self.axes[n] for n in self.axes]
+        if self.expansion == "paired":
+            return list(zip(*values))
+        return list(itertools.product(*values))
+
     @property
     def n_cells(self) -> int:
-        n = 1
-        for values in self.axes.values():
-            n *= len(values)
+        if self.expansion == "paired":
+            n = len(next(iter(self.axes.values())))
+        else:
+            n = 1
+            for values in self.axes.values():
+                n *= len(values)
+        if self.sample_n is not None:
+            n = min(n, self.sample_n)
         return n
 
     def cells(self) -> list[SweepCell]:
-        """Expand the grid into validated, content-addressed cells.
+        """Expand the spec into validated, content-addressed cells.
 
-        Enumeration order is the row-major product of the axes in insertion
-        order (last axis varies fastest), so cell indices are stable across
-        runs.
+        Grid enumeration order is the row-major product of the axes in
+        insertion order (last axis varies fastest); paired expansion walks
+        the axes positionally.  A ``sample_n`` subsample keeps that order,
+        so cell indices are stable across runs.
         """
         names = list(self.axes)
+        combos = self._combos()
+        if self.sample_n is not None and self.sample_n < len(combos):
+            rng = np.random.default_rng(self.sample_seed)
+            keep = np.sort(rng.choice(len(combos), size=self.sample_n, replace=False))
+            combos = [combos[i] for i in keep]
         cells: list[SweepCell] = []
-        for index, combo in enumerate(
-            itertools.product(*(self.axes[n] for n in names))
-        ):
+        for index, combo in enumerate(combos):
             overrides = dict(zip(names, combo))
             field_overrides: dict[str, Any] = {}
             for axis, value in overrides.items():
@@ -230,20 +314,28 @@ class SweepSpec:
     # -- serialization (provenance / manifests) ---------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-compatible form: base config dict + axes + seed mode."""
-        return {
+        """JSON-compatible form: base config + axes + expansion/sampling modes."""
+        out: dict[str, Any] = {
             "name": self.name,
             "base": self.base.to_dict(),
             "axes": {k: list(v) for k, v in self.axes.items()},
             "seed_mode": self.seed_mode,
+            "expansion": self.expansion,
         }
+        if self.sample_n is not None:
+            out["sample"] = {"n": self.sample_n, "seed": self.sample_seed}
+        return out
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "SweepSpec":
         """Rebuild a spec from :meth:`to_dict` output (validating the base)."""
+        sample = data.get("sample") or {}
         return cls(
             name=data["name"],
             base=ExperimentConfig.from_dict(data["base"]),
             axes=dict(data["axes"]),
             seed_mode=data.get("seed_mode", "shared"),
+            expansion=data.get("expansion", "grid"),
+            sample_n=sample.get("n"),
+            sample_seed=sample.get("seed", 0),
         )

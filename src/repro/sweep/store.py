@@ -20,14 +20,15 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+import shutil
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
 from repro.sweep.spec import format_overrides
 from repro.utils.results import RunStore
 
-__all__ = ["ResultStore", "CellResult"]
+__all__ = ["ResultStore", "CellResult", "MergeReport"]
 
 _CELL_FILE = "cell.json"
 _RESULT_FILE = "result.json"
@@ -48,6 +49,36 @@ class CellResult:
         if overrides:
             return format_overrides(overrides)
         return self.meta.get("name", self.address)
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """Outcome of :meth:`ResultStore.merge_from`.
+
+    ``copied`` / ``identical`` / ``conflicts`` partition the source's
+    completed cell addresses; ``manifests_copied`` / ``manifest_conflicts``
+    do the same for campaign manifests.  Any conflict means a content
+    address holds *different bytes* in the two stores — impossible for
+    stores produced by the same code (cells are byte-deterministic pure
+    functions of their config), so the merge refuses rather than guess.
+    """
+
+    copied: list = field(default_factory=list)
+    identical: list = field(default_factory=list)
+    conflicts: list = field(default_factory=list)
+    manifests_copied: list = field(default_factory=list)
+    manifest_conflicts: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.conflicts and not self.manifest_conflicts
+
+    def summary(self) -> str:
+        return (
+            f"[merge] cells: copied={len(self.copied)} identical={len(self.identical)} "
+            f"conflicts={len(self.conflicts)}; manifests: copied={len(self.manifests_copied)} "
+            f"conflicts={len(self.manifest_conflicts)}"
+        )
 
 
 def _dump_json(path: Path, payload: Any) -> None:
@@ -152,6 +183,93 @@ class ResultStore:
         if not manifest_dir.is_dir():
             return []
         return sorted(p.stem for p in manifest_dir.glob("*.json"))
+
+    # -- maintenance (merge / gc) ------------------------------------------
+
+    def merge_from(self, src: "ResultStore | str | Path", dry_run: bool = False) -> MergeReport:
+        """Union another store's completed cells and manifests into this one.
+
+        Safe by construction: cells are content-addressed and
+        byte-deterministic, so an address present in both stores must hold
+        identical bytes.  The merge is all-or-nothing: the whole source is
+        scanned first, and if *any* address (or same-named manifest) holds
+        differing bytes the conflicts are reported and **nothing is
+        written** — a refused merge leaves the destination untouched.  With
+        ``dry_run`` nothing is written even on success.
+        """
+        src = src if isinstance(src, ResultStore) else ResultStore(src)
+        report = MergeReport()
+        cells_to_copy: list[tuple[str, str, str]] = []
+        for address in src.addresses():
+            src_meta = src._meta_path(address).read_text()
+            src_result = src._result_path(address).read_text()
+            if address in self:
+                if (
+                    self._meta_path(address).read_text() == src_meta
+                    and self._result_path(address).read_text() == src_result
+                ):
+                    report.identical.append(address)
+                else:
+                    report.conflicts.append(address)
+                continue
+            report.copied.append(address)
+            cells_to_copy.append((address, src_meta, src_result))
+        manifests_to_copy: list[tuple[str, str]] = []
+        for campaign in src.campaigns():
+            src_manifest = (src.root / "sweeps" / f"{campaign}.json").read_text()
+            dst_path = self.root / "sweeps" / f"{campaign}.json"
+            if dst_path.is_file():
+                if dst_path.read_text() != src_manifest:
+                    report.manifest_conflicts.append(campaign)
+                continue
+            report.manifests_copied.append(campaign)
+            manifests_to_copy.append((campaign, src_manifest))
+        if dry_run or not report.ok:
+            return report
+        for address, src_meta, src_result in cells_to_copy:
+            # Byte-preserving copy, result last and atomic (same contract as
+            # put(): a cell is complete iff its result file exists).
+            cell_dir = self.cell_dir(address)
+            cell_dir.mkdir(parents=True, exist_ok=True)
+            (cell_dir / _CELL_FILE).write_text(src_meta)
+            tmp = cell_dir / (_RESULT_FILE + ".tmp")
+            tmp.write_text(src_result)
+            os.replace(tmp, cell_dir / _RESULT_FILE)
+        for campaign, src_manifest in manifests_to_copy:
+            dst_path = self.root / "sweeps" / f"{campaign}.json"
+            dst_path.parent.mkdir(parents=True, exist_ok=True)
+            dst_path.write_text(src_manifest)
+        return report
+
+    def referenced_addresses(self) -> set[str]:
+        """Addresses referenced by at least one campaign manifest."""
+        refs: set[str] = set()
+        for campaign in self.campaigns():
+            for cell in self.manifest(campaign).get("cells", []):
+                refs.add(cell["address"])
+        return refs
+
+    def gc(self, dry_run: bool = False) -> list[str]:
+        """Prune cell directories no campaign manifest references.
+
+        Orphans appear when a config-schema change shifts content addresses
+        or a campaign spec is edited; incomplete cells (no result file) are
+        pruned by the same rule.  Interrupted campaigns are safe: the runner
+        records the manifest *before* executing any cell, so their completed
+        cells stay referenced.  Returns the sorted orphan addresses —
+        removed, or merely listed when ``dry_run`` is set.
+        """
+        cells_dir = self.root / "cells"
+        if not cells_dir.is_dir():
+            return []
+        referenced = self.referenced_addresses()
+        orphans = sorted(
+            d.name for d in cells_dir.iterdir() if d.is_dir() and d.name not in referenced
+        )
+        if not dry_run:
+            for address in orphans:
+                shutil.rmtree(cells_dir / address)
+        return orphans
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore(root={str(self.root)!r}, cells={len(self)})"

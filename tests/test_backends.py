@@ -53,41 +53,46 @@ class TestBankCompatibility:
                       SoftmaxRegression(F, C, rng=3), LinearRegressionModel(F, 1, rng=4)):
             assert bank_compatible(model), type(model).__name__
 
-    def test_cnn_and_batchnorm_fall_back(self):
+    def test_cnn_batchnorm_and_quadratic_supported(self):
         from repro.models.cnn import SmallCNN
+        from repro.models.quadratic import NoisyQuadraticProblem, QuadraticObjective
 
         cnn = SmallCNN(in_channels=1, image_size=4, channels=(4,), n_classes=C, rng=0)
-        assert not bank_compatible(cnn)
+        assert bank_compatible(cnn)
         bn_mlp = MLP(F, C, hidden_sizes=(6,), batch_norm=True, rng=0)
-        assert not bank_compatible(bn_mlp)
-        assert not BatchNorm1d(4).supports_bank()
+        assert bank_compatible(bn_mlp)
+        assert BatchNorm1d(4).supports_bank()
+        obj = QuadraticObjective.random(dim=4, rng=0)
+        assert bank_compatible(NoisyQuadraticProblem(obj, rng=0))
 
-    def test_live_dropout_falls_back(self):
-        # A stacked mask draw cannot reproduce per-worker dropout streams, so
-        # dropout models must stay on the loop backend under "auto".
+    def test_live_dropout_supported(self):
+        # The bank draws one stacked mask per worker from the per-worker
+        # streams the loop replicas would own, so live dropout runs stacked.
         dropout_mlp = MLP(F, C, hidden_sizes=(6,), dropout=0.3, rng=0)
-        assert not bank_compatible(dropout_mlp)
+        assert bank_compatible(dropout_mlp)
+        assert list(dropout_mlp.stream_modules())
         no_dropout = MLP(F, C, hidden_sizes=(6,), dropout=0.0, rng=0)
         assert bank_compatible(no_dropout)
+        assert not list(no_dropout.stream_modules())
 
-    def test_live_dropout_bank_forward_fails_loudly(self):
-        # Direct callers that bypass the supports_bank gate must get an error,
-        # not a silently shared mask across workers.
+    def test_live_dropout_without_streams_fails_loudly(self):
+        # Direct callers that skip attach_bank_streams must get an error, not
+        # a silently shared mask across workers.
         dropout_mlp = MLP(F, C, hidden_sizes=(6,), dropout=0.3, rng=0)
         bank = ParameterBank(dropout_mlp, M)
         X = np.zeros((M, B, F))
         y = np.zeros((M, B), dtype=np.int64)
-        with pytest.raises(NotImplementedError, match="stream-equivalent"):
+        with pytest.raises(RuntimeError, match="RNG stream per worker"):
             dropout_mlp.bank_loss(X, y, bank.params)
-        dropout_mlp.eval()  # dropout is a no-op in eval mode, so the bank works
+        dropout_mlp.eval()  # dropout is a no-op in eval mode, no streams needed
         assert dropout_mlp.bank_loss(X, y, bank.params).shape == (M,)
 
-    def test_auto_keeps_seeded_dropout_trajectory_on_loop(self):
+    def test_auto_runs_seeded_dropout_on_bank_identically(self):
         def dropout_fn():
             return MLP(F, C, hidden_sizes=(12,), dropout=0.3, rng=42)
 
         auto = _make_cluster("auto", model_fn=dropout_fn)
-        assert auto.backend_name == "loop"
+        assert auto.backend_name == "vectorized"
         loop = _make_cluster("loop", model_fn=dropout_fn)
         for _ in range(2):
             auto.run_round(3)
@@ -419,16 +424,16 @@ class TestAutoBackendSelection:
         cluster = _make_cluster("auto")
         assert cluster.backend_name == "vectorized"
 
-    def test_auto_falls_back_for_cnn(self):
+    def test_auto_picks_vectorized_for_cnn(self):
         from repro.models.cnn import SmallCNN
 
         def cnn_fn():
             return SmallCNN(in_channels=1, image_size=2, channels=(4,), n_classes=C, rng=0)
 
         cluster = _make_cluster("auto", model_fn=cnn_fn)
-        assert cluster.backend_name == "loop"
+        assert cluster.backend_name == "vectorized"
 
-    def test_auto_falls_back_for_data_free_objectives(self):
+    def test_auto_picks_vectorized_for_data_free_objectives(self):
         from repro.models.quadratic import NoisyQuadraticProblem, QuadraticObjective
 
         obj = QuadraticObjective.random(dim=6, rng=0, noise_std=0.1)
@@ -439,10 +444,11 @@ class TestAutoBackendSelection:
             lambda: NoisyQuadraticProblem(obj, rng=0), None, runtime,
             n_workers=2, lr=0.1, seed=0, backend="auto",
         )
-        assert cluster.backend_name == "loop"
+        assert cluster.backend_name == "vectorized"
 
-    def test_auto_fallback_preserves_loop_trajectory(self):
-        # Falling back must consume the same RNG streams as asking for loop.
+    def test_auto_cnn_trajectory_matches_loop(self):
+        # auto now runs CNNs on the bank; the trajectory must still be the
+        # loop backend's, byte for byte.
         from repro.models.cnn import SmallCNN
 
         def cnn_fn():  # 2 channels x 2x2 pixels = the 8 flat features
@@ -450,29 +456,27 @@ class TestAutoBackendSelection:
 
         auto = _make_cluster("auto", model_fn=cnn_fn, n_workers=2)
         loop = _make_cluster("loop", model_fn=cnn_fn, n_workers=2)
+        assert auto.backend_name == "vectorized"
         auto.run_round(2)
         loop.run_round(2)
         np.testing.assert_allclose(
             auto.synchronized_parameters, loop.synchronized_parameters, atol=0
         )
 
-    def test_auto_fallback_pristine_for_stateful_model_factory(self):
-        # A factory drawing from a shared generator must be consumed exactly
-        # as a direct loop run would — the auto probe replica is reused as
-        # worker 0's model instead of burning an extra draw.
-        from repro.models.cnn import SmallCNN
+    def test_stateful_dropout_factory_matches_loop(self):
+        # A factory drawing from a shared generator gives every worker a
+        # *different* dropout stream; the bank harvests exactly the replicas
+        # the loop would have built, so factory consumption and per-worker
+        # streams line up and the trajectories stay byte-identical.
         from repro.utils.seeding import SeedSequence
 
         def make_factory():
             seeds = SeedSequence(99)
-            return lambda: SmallCNN(
-                in_channels=2, image_size=2, channels=(4,), n_classes=C,
-                rng=seeds.generator(),
-            )
+            return lambda: MLP(F, C, hidden_sizes=(6,), dropout=0.4, rng=seeds.generator())
 
         auto = _make_cluster("auto", model_fn=make_factory(), n_workers=2)
         loop = _make_cluster("loop", model_fn=make_factory(), n_workers=2)
-        assert auto.backend_name == "loop"
+        assert auto.backend_name == "vectorized"
         auto.run_round(2)
         loop.run_round(2)
         np.testing.assert_allclose(
@@ -480,13 +484,25 @@ class TestAutoBackendSelection:
         )
 
     def test_explicit_vectorized_raises_for_unsupported_model(self):
-        from repro.models.cnn import SmallCNN
+        # Third-party modules without a bank_loss are the remaining loop-only
+        # case (the loop backend is the reference implementation).
+        class NoBankModel(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = Linear(F, C, rng=0)
 
-        def cnn_fn():
-            return SmallCNN(in_channels=1, image_size=2, channels=(4,), n_classes=C, rng=0)
+            def forward(self, x):
+                return self.fc(x)
+
+            def loss(self, x, y):
+                from repro.nn.losses import cross_entropy
+
+                return cross_entropy(self(x), y)
 
         with pytest.raises(BackendUnsupported):
-            _make_cluster("vectorized", model_fn=cnn_fn)
+            _make_cluster("vectorized", model_fn=NoBankModel)
+        fallback = _make_cluster("auto", model_fn=NoBankModel)
+        assert fallback.backend_name == "loop"
 
     def test_unknown_backend_name_raises(self):
         with pytest.raises(ValueError, match="unknown execution backend"):

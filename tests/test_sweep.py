@@ -22,6 +22,7 @@ from repro.sweep import (
     SweepSpec,
     cell_hash,
     grid,
+    paired,
     run_sweep,
 )
 
@@ -359,3 +360,245 @@ class TestSweepCLI:
 
         with pytest.raises(SystemExit, match="cannot be combined with --sweep"):
             main(["--sweep", "smoke_2x2", "--store", str(tmp_path), *extra])
+
+
+class TestNonGridExpansions:
+    def test_paired_axes_carry_the_expansion_mode(self):
+        # paired(...) alone is enough — no separate flag to forget, so the
+        # intent cannot silently degrade into a full cross-product.
+        spec = SweepSpec("diag", make_config("smoke"), paired(m=[2, 4], tau=[8, 4]))
+        assert spec.expansion == "paired"
+        cells = spec.cells()
+        assert spec.n_cells == len(cells) == 2
+        assert [c.overrides for c in cells] == [{"m": 2, "tau": 8}, {"m": 4, "tau": 4}]
+        assert cells[0].config.n_workers == 2
+        assert cells[0].config.methods == ("pasgd-tau8",)
+        assert cells[1].config.n_workers == 4
+
+    def test_plain_dict_axes_with_explicit_flag(self):
+        spec = SweepSpec(
+            "diag", make_config("smoke"), grid(m=[2, 4], tau=[8, 4]),
+            expansion="paired",
+        )
+        assert spec.n_cells == 2
+
+    def test_paired_requires_equal_lengths(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            paired(m=[2, 4], tau=[8])
+        with pytest.raises(ValueError, match="equal lengths"):
+            SweepSpec("bad", make_config("smoke"), grid(m=[2, 4], tau=[8]),
+                      expansion="paired")
+        with pytest.raises(ValueError, match="expansion"):
+            SweepSpec("bad", make_config("smoke"), grid(tau=[1]), expansion="spiral")
+
+    def test_random_sampling_is_a_deterministic_subset(self):
+        full = tiny_spec()
+        sampled = full.random(3, seed=11)
+        cells = sampled.cells()
+        assert sampled.n_cells == len(cells) == 3
+        assert [c.address for c in cells] == [c.address for c in sampled.cells()]
+        full_addresses = {c.address for c in full.cells()}
+        assert {c.address for c in cells} <= full_addresses
+        # Enumeration keeps the underlying grid order; indices are sequential.
+        assert [c.index for c in cells] == [0, 1, 2]
+        other = full.random(3, seed=12).cells()
+        assert [c.address for c in other] != [c.address for c in cells]
+
+    def test_random_larger_than_grid_keeps_every_cell(self):
+        spec = tiny_spec().random(99, seed=0)
+        assert spec.n_cells == 4
+        assert len(spec.cells()) == 4
+
+    def test_random_validates_n(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            tiny_spec().random(0)
+
+    def test_expansion_and_sampling_round_trip_through_json(self):
+        sampled = tiny_spec().random(2, seed=5)
+        clone = SweepSpec.from_dict(json.loads(json.dumps(sampled.to_dict())))
+        assert [c.address for c in clone.cells()] == [c.address for c in sampled.cells()]
+        diag = SweepSpec("diag", make_config("smoke"), paired(m=[2, 4], tau=[8, 4]))
+        clone = SweepSpec.from_dict(json.loads(json.dumps(diag.to_dict())))
+        assert clone.expansion == "paired"
+        assert [c.address for c in clone.cells()] == [c.address for c in diag.cells()]
+
+    def test_sampled_campaign_runs_and_resumes_from_store(self, tmp_path):
+        sampled = tiny_spec().random(2, seed=3)
+        report = run_sweep(sampled, tmp_path)
+        assert len(report.executed) == 2
+        again = run_sweep(tiny_spec().random(2, seed=3), tmp_path)
+        assert not again.executed and len(again.cached) == 2
+        # The sample is a sub-campaign of the full grid: running the full
+        # grid afterwards re-uses the sampled cells as cache hits.
+        full = run_sweep(tiny_spec(), tmp_path)
+        assert len(full.cached) == 2 and len(full.executed) == 2
+
+
+class TestStoreMergeAndGC:
+    def _populated(self, tmp_path, name):
+        store_dir = tmp_path / name
+        report = run_sweep(tiny_spec(), store_dir)
+        return ResultStore(store_dir), report
+
+    def test_merge_unions_cells_and_manifests_byte_identically(self, tmp_path):
+        src, report = self._populated(tmp_path, "src")
+        dst = ResultStore(tmp_path / "dst")
+        merged = dst.merge_from(src)
+        assert merged.ok
+        assert sorted(merged.copied) == sorted(report.executed)
+        assert merged.manifests_copied == ["tiny"]
+        for address in report.executed:
+            assert (
+                (dst.cell_dir(address) / "result.json").read_bytes()
+                == (src.cell_dir(address) / "result.json").read_bytes()
+            )
+        # Re-merging is a no-op: everything already identical.
+        again = dst.merge_from(src)
+        assert again.ok and not again.copied
+        assert sorted(again.identical) == sorted(report.executed)
+        # The merged store serves the campaign as pure cache hits.
+        rerun = run_sweep(tiny_spec(), dst.root)
+        assert not rerun.executed and len(rerun.cached) == 4
+
+    def test_merge_dry_run_writes_nothing(self, tmp_path):
+        src, report = self._populated(tmp_path, "src")
+        dst = ResultStore(tmp_path / "dst")
+        merged = dst.merge_from(src, dry_run=True)
+        assert sorted(merged.copied) == sorted(report.executed)
+        assert len(dst) == 0 and dst.campaigns() == []
+
+    def test_merge_refuses_on_differing_bytes(self, tmp_path):
+        src, report = self._populated(tmp_path, "src")
+        dst, _ = self._populated(tmp_path, "dst")
+        victim = report.executed[0]
+        original = (dst.cell_dir(victim) / "result.json").read_text()
+        (src.cell_dir(victim) / "result.json").write_text('{"corrupt": true}\n')
+        merged = dst.merge_from(src)
+        assert not merged.ok
+        assert merged.conflicts == [victim]
+        assert len(merged.identical) == 3
+        # The conflicting cell was left untouched in the destination.
+        assert (dst.cell_dir(victim) / "result.json").read_text() == original
+
+    def test_refused_merge_writes_nothing_at_all(self, tmp_path):
+        # All-or-nothing: even cells that *could* be copied cleanly are not
+        # written when any address conflicts elsewhere in the source.
+        src, report = self._populated(tmp_path, "src")
+        dst, _ = self._populated(tmp_path, "dst")
+        missing, conflicting = report.executed[0], report.executed[1]
+        import shutil
+
+        shutil.rmtree(dst.cell_dir(missing))
+        (src.cell_dir(conflicting) / "result.json").write_text('{"corrupt": true}\n')
+        (dst.root / "sweeps" / "tiny.json").unlink()
+        merged = dst.merge_from(src)
+        assert not merged.ok
+        assert merged.copied == [missing]
+        assert merged.manifests_copied == ["tiny"]
+        # ...but the refused merge wrote none of them.
+        assert missing not in dst
+        assert "tiny" not in dst.campaigns()
+
+    def test_merge_refuses_on_manifest_conflict(self, tmp_path):
+        src, _ = self._populated(tmp_path, "src")
+        dst, _ = self._populated(tmp_path, "dst")
+        dst.write_manifest("tiny", {"name": "tiny", "cells": []})
+        merged = dst.merge_from(src)
+        assert merged.manifest_conflicts == ["tiny"]
+        assert not merged.ok
+
+    def test_gc_prunes_only_unreferenced_cells(self, tmp_path):
+        store, report = self._populated(tmp_path, "store")
+        keep = set(report.executed[:2])
+        manifest = store.manifest("tiny")
+        manifest["cells"] = [c for c in manifest["cells"] if c["address"] in keep]
+        store.write_manifest("tiny", manifest)
+
+        orphans = store.gc(dry_run=True)
+        assert sorted(orphans) == sorted(set(report.executed) - keep)
+        assert len(store) == 4  # dry run removed nothing
+
+        removed = store.gc()
+        assert sorted(removed) == sorted(orphans)
+        assert sorted(store.addresses()) == sorted(keep)
+
+    def test_gc_prunes_incomplete_orphans_too(self, tmp_path):
+        store, _ = self._populated(tmp_path, "store")
+        half_cell = store.cell_dir("feedface00000000")
+        half_cell.mkdir(parents=True)
+        (half_cell / "cell.json").write_text("{}")
+        removed = store.gc()
+        assert removed == ["feedface00000000"]
+        assert len(store) == 4
+
+    def test_gc_on_empty_store(self, tmp_path):
+        assert ResultStore(tmp_path / "empty").gc() == []
+
+    def test_interrupted_campaign_survives_gc(self, tmp_path):
+        # The runner records the manifest before executing any cell, so a
+        # killed campaign's completed cells stay referenced and gc-safe.
+        class Interrupt(RuntimeError):
+            pass
+
+        executed = []
+
+        def progress(line):
+            if line.startswith("[sweep] executed "):
+                executed.append(line)
+                if len(executed) == 2:
+                    raise Interrupt(line)
+
+        store = ResultStore(tmp_path)
+        with pytest.raises(Interrupt):
+            SweepRunner(store, progress=progress).run(tiny_spec())
+        assert 0 < len(store) < 4  # genuinely interrupted mid-campaign
+        assert store.campaigns() == ["tiny"]
+        assert store.gc() == []  # nothing orphaned
+        completed_before_resume = len(store)
+        resumed = run_sweep(tiny_spec(), tmp_path)
+        assert resumed.ok
+        assert len(resumed.cached) == completed_before_resume
+        assert len(resumed.executed) == 4 - completed_before_resume
+
+
+class TestSweepMaintenanceCLI:
+    def test_merge_verb(self, tmp_path, capsys):
+        from repro.sweep.__main__ import main
+
+        run_sweep(tiny_spec(), tmp_path / "src")
+        assert main(["merge", str(tmp_path / "src"), str(tmp_path / "dst")]) == 0
+        out = capsys.readouterr().out
+        assert "copied=4" in out and "conflicts=0" in out
+        assert len(ResultStore(tmp_path / "dst")) == 4
+
+    def test_merge_verb_refuses_conflicts(self, tmp_path, capsys):
+        from repro.sweep.__main__ import main
+
+        report = run_sweep(tiny_spec(), tmp_path / "src")
+        run_sweep(tiny_spec(), tmp_path / "dst")
+        victim = report.executed[0]
+        (ResultStore(tmp_path / "src").cell_dir(victim) / "result.json").write_text("{}\n")
+        assert main(["merge", str(tmp_path / "src"), str(tmp_path / "dst")]) == 1
+        captured = capsys.readouterr()
+        assert "CONFLICT" in captured.out
+        assert "refusing merge" in captured.err
+
+    def test_gc_verb_dry_run_then_delete(self, tmp_path, capsys):
+        from repro.sweep.__main__ import main
+
+        store_dir = tmp_path / "store"
+        store = ResultStore(store_dir)
+        run_sweep(tiny_spec(), store_dir)
+        (store.root / "sweeps" / "tiny.json").unlink()
+        assert main(["gc", str(store_dir), "--dry-run"]) == 0
+        assert "would remove" in capsys.readouterr().out
+        assert len(store) == 4
+        assert main(["gc", str(store_dir)]) == 0
+        assert "4 orphan cell(s) removed" in capsys.readouterr().out
+        assert len(store) == 0
+
+    def test_requires_a_verb(self):
+        from repro.sweep.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main([])
