@@ -1,11 +1,14 @@
-"""Wall-clock speedup of the vectorized worker-bank backend over the loop.
+"""Wall-clock speedup of the bank backends (vectorized + sharded) over the loop.
 
 Times the same seeded PASGD workloads — a dense MLP and a small CNN on
 synthetic data, the hot paths of the paper's large-m sweeps (Figs. 12–14) —
-on both execution backends at several cluster sizes, checks that the two
+on all three execution backends at several cluster sizes, checks that the
 backends produce the same trajectory and that ``backend="auto"`` resolves to
 the bank for every family, and writes the results to ``BENCH_backend.json``
-so the performance trajectory is tracked across PRs.
+so the performance trajectory is tracked across PRs.  The sharded family
+measures the multi-process pool (``--shards`` processes, spawn start method);
+its timings include the per-round pipe traffic, so it only wins once the
+per-shard arithmetic dominates — exactly the large-m regime it exists for.
 
 Runs standalone (no pytest-benchmark needed)::
 
@@ -60,7 +63,7 @@ FAMILIES = {
 }
 
 
-def build_cluster(backend: str, family: str, n_workers: int) -> SimulatedCluster:
+def build_cluster(backend: str, family: str, n_workers: int, n_shards: int = 2) -> SimulatedCluster:
     spec = FAMILIES[family]
     dataset = make_gaussian_blobs(
         n_samples=max(50 * n_workers, 800),
@@ -83,18 +86,27 @@ def build_cluster(backend: str, family: str, n_workers: int) -> SimulatedCluster
         weight_decay=1e-4,
         seed=SEED,
         backend=backend,
+        n_shards=n_shards,
     )
 
 
-def time_backend(backend: str, family: str, n_workers: int, rounds: int, tau: int, repeats: int):
-    """Best-of-``repeats`` wall-clock time and the final loss (for parity checks)."""
+def time_backend(backend: str, family: str, n_workers: int, rounds: int, tau: int,
+                 repeats: int, n_shards: int = 2):
+    """Best-of-``repeats`` wall-clock time and the final loss (for parity checks).
+
+    Timing excludes cluster construction (the sharded backend's pool spawn is
+    a one-off cost amortized over a whole run, not a per-round one).
+    """
     best, final_loss = float("inf"), float("nan")
     for _ in range(repeats):
-        cluster = build_cluster(backend, family, n_workers)
-        start = time.perf_counter()
-        for _ in range(rounds):
-            final_loss = cluster.run_round(tau)
-        best = min(best, time.perf_counter() - start)
+        cluster = build_cluster(backend, family, n_workers, n_shards=n_shards)
+        try:
+            start = time.perf_counter()
+            for _ in range(rounds):
+                final_loss = cluster.run_round(tau)
+            best = min(best, time.perf_counter() - start)
+        finally:
+            cluster.close()
     return best, final_loss
 
 
@@ -108,6 +120,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tau", type=int, default=10, help="local steps per round")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats (best-of is reported)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="process count for the sharded backend family")
     parser.add_argument("--out", default="BENCH_backend.json",
                         help="path of the JSON results file")
     args = parser.parse_args(argv)
@@ -132,17 +146,28 @@ def main(argv: list[str] | None = None) -> int:
     results = []
     for family in families:
         print(f"backend speedup: {FAMILIES[family]['label']}, batch {BATCH_SIZE}, "
-              f"{args.rounds} rounds x tau={args.tau}  (auto -> {auto_backend[family]})")
-        print(f"{'m':>4} {'loop (s)':>10} {'vectorized (s)':>15} {'speedup':>8}")
+              f"{args.rounds} rounds x tau={args.tau}  (auto -> {auto_backend[family]}, "
+              f"sharded on {args.shards} procs)")
+        print(f"{'m':>4} {'loop (s)':>10} {'vectorized (s)':>15} {'speedup':>8} "
+              f"{'sharded (s)':>12} {'speedup':>8}")
         for m in worker_counts:
             loop_s, loop_loss = time_backend("loop", family, m, args.rounds, args.tau, args.repeats)
             vec_s, vec_loss = time_backend("vectorized", family, m, args.rounds, args.tau, args.repeats)
+            sharded_s, sharded_loss = time_backend(
+                "sharded", family, m, args.rounds, args.tau, args.repeats, n_shards=args.shards
+            )
             if not np.isclose(loop_loss, vec_loss, atol=1e-6):
                 raise SystemExit(
                     f"backend mismatch for {family} at m={m}: loop loss {loop_loss} "
                     f"vs vectorized {vec_loss}"
                 )
+            if sharded_loss != vec_loss:
+                raise SystemExit(
+                    f"backend mismatch for {family} at m={m}: sharded loss {sharded_loss} "
+                    f"must be byte-identical to vectorized {vec_loss}"
+                )
             speedup = loop_s / vec_s
+            sharded_speedup = loop_s / sharded_s
             results.append(
                 {
                     "model": family,
@@ -150,19 +175,24 @@ def main(argv: list[str] | None = None) -> int:
                     "loop_seconds": round(loop_s, 6),
                     "vectorized_seconds": round(vec_s, 6),
                     "speedup": round(speedup, 3),
+                    "sharded_seconds": round(sharded_s, 6),
+                    "sharded_speedup": round(sharded_speedup, 3),
                     "final_loss": round(float(vec_loss), 8),
                 }
             )
-            print(f"{m:>4} {loop_s:>10.3f} {vec_s:>15.3f} {speedup:>7.1f}x")
+            print(f"{m:>4} {loop_s:>10.3f} {vec_s:>15.3f} {speedup:>7.1f}x "
+                  f"{sharded_s:>12.3f} {sharded_speedup:>7.1f}x")
 
     payload = {
         "benchmark": "bench_backend_speedup",
         "models": {f: FAMILIES[f]["label"] for f in families},
         "auto_backend": auto_backend,
+        "backends": ["loop", "vectorized", "sharded"],
         "batch_size": BATCH_SIZE,
         "rounds": args.rounds,
         "tau": args.tau,
         "repeats": args.repeats,
+        "shards": args.shards,
         "results": results,
     }
     out = Path(args.out)

@@ -97,11 +97,15 @@ class Experiment:
         return self
 
     def backend(self, name: str) -> "Experiment":
-        """Select the worker-execution backend ("auto", "loop", "vectorized")."""
+        """Select the worker-execution backend ("auto", "loop", "vectorized", "sharded")."""
         if name != "auto":
             BACKENDS.get(name)
         self._config = self._config.with_overrides(backend=name)
         return self
+
+    def shards(self, n: int) -> "Experiment":
+        """Set the sharded backend's process count (``backend_shards``)."""
+        return self.set(backend_shards=int(n))
 
     def methods(self, *specs: str) -> "Experiment":
         """Set the method lineup from spec strings (see ``parse_method_spec``).

@@ -11,8 +11,9 @@ registry                  registered by                           example names
 ``NETWORK_SCALINGS``      ``repro.runtime.network``               ``ring_allreduce``
 ``COMM_SCHEDULES``        ``repro.core.schedules``                ``adacomm``
 ``LR_SCHEDULES``          ``repro.optim.lr_schedules``            ``tau_gated``
-``BACKENDS``              ``repro.distributed.backends`` /        ``loop``, ``vectorized``
-                          ``repro.distributed.worker_bank``
+``BACKENDS``              ``repro.distributed.backends`` /        ``loop``, ``vectorized``,
+                          ``repro.distributed.worker_bank`` /     ``sharded``
+                          ``repro.distributed.sharded_bank``
 ``SWEEPS``                ``repro.sweep.campaigns``               ``tau_error_runtime``
 ========================  ======================================  =========================
 
@@ -58,7 +59,11 @@ COMM_SCHEDULES = Registry(
 LR_SCHEDULES = Registry("LR schedule", populate=_importer("repro.optim.lr_schedules"))
 BACKENDS = Registry(
     "execution backend",
-    populate=_importer("repro.distributed.backends", "repro.distributed.worker_bank"),
+    populate=_importer(
+        "repro.distributed.backends",
+        "repro.distributed.worker_bank",
+        "repro.distributed.sharded_bank",
+    ),
 )
 SWEEPS = Registry("sweep", populate=_importer("repro.sweep.campaigns"))
 

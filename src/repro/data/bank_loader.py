@@ -21,7 +21,25 @@ import numpy as np
 from repro.data.loader import BatchLoader
 from repro.data.synthetic import Dataset
 
-__all__ = ["BankLoader"]
+__all__ = ["BankLoader", "common_effective_batch"]
+
+
+def common_effective_batch(shards: Sequence[Dataset], batch_size: int) -> int:
+    """The one batch size every shard clips ``batch_size`` to, or ``ValueError``.
+
+    :class:`BatchLoader` clips the requested batch to each shard's length;
+    stacked sampling needs that clipped size to be *common* across shards.
+    This is the single home of the rule — ``BankLoader`` enforces it at
+    construction and the sharded backend pre-checks it in the parent (so an
+    unstackable setup raises before any process is spawned).
+    """
+    effective = {min(batch_size, len(shard)) for shard in shards}
+    if len(effective) > 1:
+        raise ValueError(
+            f"stacked sampling needs one common batch size, but the shards "
+            f"clip batch_size={batch_size} to {sorted(effective)}"
+        )
+    return effective.pop()
 
 
 class BankLoader:
@@ -54,12 +72,7 @@ class BankLoader:
             rngs = [None] * len(shards)
         if len(rngs) != len(shards):
             raise ValueError(f"{len(shards)} shards but {len(rngs)} RNG streams")
-        effective = {min(batch_size, len(shard)) for shard in shards}
-        if len(effective) > 1:
-            raise ValueError(
-                f"stacked sampling needs one common batch size, but the shards "
-                f"clip batch_size={batch_size} to {sorted(effective)}"
-            )
+        common_effective_batch(shards, batch_size)
         self.loaders = [
             BatchLoader(shard, batch_size, rng=rng)
             for shard, rng in zip(shards, rngs)

@@ -15,6 +15,7 @@ from repro.distributed.worker import Worker
 from repro.distributed.averaging import average_states, weighted_average_states
 from repro.distributed.backends import BackendUnsupported, LoopWorkers, WorkerBackend
 from repro.distributed.worker_bank import BankWorkerView, WorkerBank
+from repro.distributed.sharded_bank import ShardedBank, ShardWorkerView, shard_slices
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.events import CommunicationEvent, LocalPeriodEvent, EventLog
 from repro.distributed.topology import (
@@ -37,6 +38,9 @@ __all__ = [
     "LoopWorkers",
     "WorkerBank",
     "BankWorkerView",
+    "ShardedBank",
+    "ShardWorkerView",
+    "shard_slices",
     "SimulatedCluster",
     "CommunicationEvent",
     "LocalPeriodEvent",

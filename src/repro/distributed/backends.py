@@ -3,25 +3,30 @@
 :class:`~repro.distributed.cluster.SimulatedCluster` delegates everything
 that touches *all m replicas* — local SGD periods, state gather/broadcast,
 learning-rate and momentum control, model materialization for evaluation —
-to a backend implementing :class:`WorkerBackend`.  Two backends exist:
+to a backend implementing :class:`WorkerBackend`.  Three backends exist:
 
 * :class:`LoopWorkers` (this module) — one :class:`Worker` object per
   replica, stepped in a Python loop.  This is the seed behaviour, kept as
-  the *reference implementation*: the equivalence suite checks the bank
+  the *reference implementation*: the equivalence suite checks the banks
   against it byte for byte, and third-party models without a ``bank_loss``
   still run here.
 * :class:`~repro.distributed.worker_bank.WorkerBank` — all replicas stacked
   along a leading worker axis and stepped with single NumPy ops (the
   vectorized path; see ``repro.nn.bank``).  Covers every built-in model:
   dense nets, CNNs, batch-norm nets, live dropout, and data-free objectives.
+* :class:`~repro.distributed.sharded_bank.ShardedBank` — the stacked bank
+  partitioned into contiguous worker shards, one vectorized bank per shard
+  on a persistent pool of worker processes (larger-than-memory banks,
+  multi-core throughput).
 
 Backends register by name in :data:`repro.api.registries.BACKENDS` and share
 one constructor signature, so ``SimulatedCluster(..., backend="vectorized")``
 and the CLI's ``--backend`` flag switch them declaratively; ``"auto"`` picks
 the vectorized bank whenever the model supports it — which every model in
-the ``MODELS`` registry does.  Both backends consume the per-worker RNG
-streams identically (data sampling, dropout masks, gradient noise), so a
-seeded run's trajectory is byte-identical on either backend.
+the ``MODELS`` registry does — and escalates to the sharded pool at large
+cluster sizes.  All backends consume the per-worker RNG streams identically
+(data sampling, dropout masks, gradient noise), so a seeded run's trajectory
+is byte-identical on any backend.
 """
 
 from __future__ import annotations
@@ -35,7 +40,13 @@ from repro.data.synthetic import Dataset
 from repro.distributed.worker import Worker
 from repro.nn.layers import Module
 
-__all__ = ["BackendUnsupported", "WorkerBackend", "LoopWorkers"]
+__all__ = [
+    "BackendUnsupported",
+    "WorkerBackend",
+    "LoopWorkers",
+    "generator_state",
+    "module_stream_states",
+]
 
 
 class BackendUnsupported(RuntimeError):
@@ -101,6 +112,34 @@ class WorkerBackend:
     def evaluate_with_state(self, flat: np.ndarray, fn: Callable[[Module], float]):
         """Run ``fn`` on a module holding ``flat``, leaving workers unchanged."""
         raise NotImplementedError
+
+    def rng_fingerprint(self) -> dict:
+        """Positions of every per-worker RNG stream, in one comparable dict.
+
+        ``{"loaders": [state_or_None per worker], "streams": [[state per
+        stream module] per worker]}`` where each state is the generator's
+        ``bit_generator.state`` dict.  Equal fingerprints mean the backends
+        have consumed every stream identically — the equivalence matrix
+        (``tests/conftest.py``) compares these with ``==`` across backends.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (worker processes, pools).  Idempotent.
+
+        In-process backends have nothing to release; the sharded backend
+        overrides this to shut its process pool down cleanly.
+        """
+
+
+def generator_state(gen) -> dict:
+    """Comparable position of one NumPy generator (``bit_generator.state``)."""
+    return gen.bit_generator.state
+
+
+def module_stream_states(model: Module) -> list:
+    """Positions of every stream module's private generator, in tree order."""
+    return [generator_state(mod._rng) for mod in model.stream_modules()]
 
 
 class LoopWorkers(WorkerBackend):
@@ -194,6 +233,15 @@ class LoopWorkers(WorkerBackend):
             return fn(worker0.model)
         finally:
             worker0.set_parameters(saved)
+
+    def rng_fingerprint(self) -> dict:
+        return {
+            "loaders": [
+                None if w.loader is None else generator_state(w.loader._rng)
+                for w in self.workers
+            ],
+            "streams": [module_stream_states(w.model) for w in self.workers],
+        }
 
 
 BACKENDS.register("loop", LoopWorkers)

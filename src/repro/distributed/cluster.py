@@ -64,10 +64,20 @@ class SimulatedCluster:
     backend:
         Worker-execution backend name: ``"loop"`` (one ``Worker`` per
         replica, the reference implementation), ``"vectorized"`` (stacked
-        worker bank), or ``"auto"`` (vectorized whenever the model supports
-        it — all built-in models do — else loop).  Both backends consume the
-        same RNG streams, so seeded runs produce byte-identical trajectories
-        on either backend.
+        worker bank), ``"sharded"`` (the bank split over a persistent pool
+        of worker processes), or ``"auto"`` (sharded at or above
+        ``auto_shard_threshold`` workers, else vectorized whenever the model
+        supports it — all built-in models do — else loop).  All backends
+        consume the same RNG streams, so seeded runs produce byte-identical
+        trajectories on any of them.
+    n_shards:
+        Process count for the sharded backend (clamped to ``n_workers``);
+        ignored by the in-process backends.
+    auto_shard_threshold:
+        Cluster size at which ``backend="auto"`` escalates from the
+        single-process bank to the sharded pool; ``None`` disables the
+        escalation.  Because the backends are byte-identical, the threshold
+        changes the process layout, never the trajectory.
     weighting:
         How the averaging collective weights worker states: ``"uniform"``
         (the paper's setting, eq. 3) or ``"shard_size"`` — FedAvg-style
@@ -91,6 +101,8 @@ class SimulatedCluster:
         seed: int = 0,
         backend: str = "loop",
         weighting: str = "uniform",
+        n_shards: int = 2,
+        auto_shard_threshold: "int | None" = None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -130,6 +142,8 @@ class SimulatedCluster:
         worker_rngs = [self._seeds.generator() for _ in range(n_workers)]
         self.backend_name, self._backend = self._resolve_backend(
             backend,
+            n_shards=n_shards,
+            auto_shard_threshold=auto_shard_threshold,
             model_fn=model_fn,
             shards=shards,
             batch_size=batch_size,
@@ -156,17 +170,37 @@ class SimulatedCluster:
         self.current_lr = lr
 
     @staticmethod
-    def _resolve_backend(spec: str, **kwargs) -> tuple[str, WorkerBackend]:
-        """Build the execution backend; ``"auto"`` falls back to the loop.
+    def _resolve_backend(
+        spec: str,
+        *,
+        n_shards: int = 2,
+        auto_shard_threshold: "int | None" = None,
+        **kwargs,
+    ) -> tuple[str, WorkerBackend]:
+        """Build the execution backend; ``"auto"`` escalates and falls back.
 
-        The vectorized backend raises :class:`BackendUnsupported` before
-        consuming any RNG stream, and the probe replica built to decide
-        compatibility becomes the fallback's worker-0 model, so an "auto"
-        fallback consumes ``model_fn`` and every RNG stream exactly as a
-        direct ``backend="loop"`` run would.
+        ``"auto"`` picks the sharded pool at or above ``auto_shard_threshold``
+        workers, the vectorized bank otherwise, and the loop for models
+        without a bank path.  Both bank backends raise
+        :class:`BackendUnsupported` before consuming any RNG stream, and the
+        probe replica built to decide compatibility is reused down the
+        fallback chain, so every resolution consumes ``model_fn`` and the
+        RNG streams exactly as a direct run of the chosen backend would.
         """
+        if spec == "sharded":
+            return "sharded", BACKENDS.build("sharded", n_shards=n_shards, **kwargs)
         if spec == "auto":
             template = kwargs["model_fn"]()
+            if (
+                auto_shard_threshold is not None
+                and len(kwargs["shards"]) >= auto_shard_threshold
+            ):
+                try:
+                    return "sharded", BACKENDS.build(
+                        "sharded", template=template, n_shards=n_shards, **kwargs
+                    )
+                except BackendUnsupported:
+                    pass
             try:
                 return "vectorized", BACKENDS.build("vectorized", template=template, **kwargs)
             except BackendUnsupported:
@@ -182,6 +216,21 @@ class SimulatedCluster:
     def backend(self) -> WorkerBackend:
         """The worker-execution backend instance."""
         return self._backend
+
+    def close(self) -> None:
+        """Release backend resources (the sharded backend's process pool).
+
+        Idempotent and a no-op for in-process backends; the experiment
+        harness calls it after every run, and ``with SimulatedCluster(...)``
+        does so on exit.
+        """
+        self._backend.close()
+
+    def __enter__(self) -> "SimulatedCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- core PASGD operations ------------------------------------------------
     def run_local_period(self, tau: int) -> float:

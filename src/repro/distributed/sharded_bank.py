@@ -1,0 +1,500 @@
+"""The sharded worker bank: m replicas split across a persistent process pool.
+
+``ShardedBank`` is the third execution backend.  It partitions the m workers
+into contiguous shards and runs one vectorized
+:class:`~repro.distributed.worker_bank.WorkerBank` per shard inside a
+persistent pool of worker *processes*, so banks larger than one process'
+memory (or one core's arithmetic throughput) split across the machine while
+every byte of the trajectory stays identical to the single-process bank —
+and hence to the loop reference implementation.
+
+Spawn safety follows the sweep runner's pattern: the child entry point is a
+module-level function, every import it needs happens lazily inside the child
+(registries repopulate in-process), and the per-shard payload it receives is
+pure *state* — the template module, the shard datasets, and the per-worker
+generators, all picklable under the ``spawn`` start method (the default, and
+the only one available everywhere).  Nothing in the payload is a closure:
+``model_fn`` never crosses the process boundary.  The parent consumes
+``model_fn`` and the worker RNG streams exactly as the vectorized backend
+would (one template plus m-1 stream-harvest replicas when stochastic modules
+exist), then ships each shard its slice of datasets, loader generators, and
+stream generators; each child rebuilds a shard-local ``WorkerBank`` around
+them with :func:`repro.nn.bank.attach_stream_generators`.
+
+Equivalence is structural, not approximate: a shard-local bank performs the
+same per-slice NumPy arithmetic on the same per-worker streams the full bank
+would, the parent concatenates shard states back in worker order, and the
+averaging collective runs in the parent on the identical ``(m, P)`` array —
+so parameters, buffers, losses, and RNG stream positions are byte-identical
+across all three backends (``tests/test_sharded_bank.py`` pins this down).
+
+Lifecycle: the pool is created at construction and lives until
+:meth:`close` (idempotent; also invoked by ``SimulatedCluster.close()``, the
+experiment harness' ``finally``, and a ``weakref.finalize`` safety net).
+Children are daemonic, so an abandoned backend can never outlive its parent.
+One consequence: a *daemonic* parent — e.g. a sweep-pool worker executing a
+cell with ``backend="sharded"`` under ``--jobs N`` — is itself forbidden
+from spawning children, so there the same shard servers run in-process
+(``pooled=False``): identical partition, arithmetic, and stored bytes,
+whether a cell ran serially or inside the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import traceback
+import weakref
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.api.registries import BACKENDS
+from repro.data.bank_loader import common_effective_batch
+from repro.data.synthetic import Dataset
+from repro.distributed.backends import BackendUnsupported, WorkerBackend
+from repro.nn.bank import attach_bank_streams, bank_compatible
+from repro.nn.layers import Module
+from repro.utils.seeding import check_random_state
+
+__all__ = ["ShardedBank", "ShardWorkerView", "shard_slices"]
+
+
+def shard_slices(n_workers: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` worker ranges for each of ``n_shards`` shards.
+
+    Sizes follow ``np.array_split``: the first ``n_workers % n_shards``
+    shards get one extra worker, so any (m, shards) pair yields a balanced,
+    deterministic partition.  ``n_shards`` is clamped to ``n_workers`` so no
+    shard is ever empty.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    n_shards = min(n_shards, n_workers)
+    base, extra = divmod(n_workers, n_shards)
+    slices, lo = [], 0
+    for index in range(n_shards):
+        hi = lo + base + (1 if index < extra else 0)
+        slices.append((lo, hi))
+        lo = hi
+    return slices
+
+
+class _ShardServer:
+    """Executes shard commands against one shard-local ``WorkerBank``.
+
+    The single implementation behind both transports: a pooled shard process
+    wraps one in ``_shard_main``'s command loop, and a :class:`ShardedBank`
+    constructed where child processes are forbidden (inside a daemonic
+    sweep-pool worker) holds them directly and executes in-process — same
+    partition, same arithmetic, same bytes.
+    """
+
+    def __init__(self, payload: dict):
+        from repro.distributed.worker_bank import WorkerBank
+
+        # The parent ships stream_rngs whenever the template has stream
+        # modules, so WorkerBank never falls back to calling model_fn here.
+        self.bank = WorkerBank(
+            model_fn=None,
+            shards=payload["shards"],
+            batch_size=payload["batch_size"],
+            lr=payload["lr"],
+            momentum=payload["momentum"],
+            weight_decay=payload["weight_decay"],
+            rngs=payload["loader_rngs"],
+            template=payload["template"],
+            stream_rngs=payload["stream_rngs"],
+        )
+
+    def execute(self, op: str, args: tuple):
+        bank = self.bank
+        if op == "local_period":
+            return bank.local_period(*args)
+        if op == "get_states":
+            return bank.get_stacked_states()
+        if op == "broadcast":
+            return bank.broadcast_state(*args)
+        if op == "get_worker_flat":
+            return bank.bank.worker_flat(*args)
+        if op == "set_worker_flat":
+            return bank.bank.set_worker_flat(*args)
+        if op == "get_worker_buffers":
+            return bank.bank.worker_buffers(*args)
+        if op == "set_lr":
+            return bank.set_lr(*args)
+        if op == "reset_momentum":
+            return bank.reset_momentum()
+        if op == "rng_fingerprint":
+            return bank.rng_fingerprint()
+        raise ValueError(f"unknown shard command {op!r}")
+
+
+def _shard_main(conn, payload: dict) -> None:
+    """Child entry point: build one shard-local ``WorkerBank``, serve commands.
+
+    Module-level (picklable by reference) so it works under every
+    multiprocessing start method; the ``WorkerBank`` import inside
+    :class:`_ShardServer` is local so a spawned interpreter pays it lazily
+    and the component registries repopulate inside the child, mirroring the
+    sweep runner's workers.
+    """
+    try:
+        server = _ShardServer(payload)
+        conn.send(("ready", None))
+    except Exception:  # noqa: BLE001 - construction failures travel to the parent
+        conn.send(("error", traceback.format_exc()))
+        return
+
+    while True:
+        try:
+            op, args = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            return
+        if op == "close":
+            conn.send(("ok", None))
+            return
+        try:
+            conn.send(("ok", server.execute(op, args)))
+        except Exception:  # noqa: BLE001 - errors travel back, the child survives
+            conn.send(("error", traceback.format_exc()))
+
+
+class ShardWorkerView:
+    """Per-worker handle into a :class:`ShardedBank` (Worker-like surface)."""
+
+    def __init__(self, backend: "ShardedBank", worker_id: int):
+        self.worker_id = worker_id
+        self._backend = backend
+
+    def get_parameters(self) -> np.ndarray:
+        return self._backend._worker_request(self.worker_id, "get_worker_flat")
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        self._backend._worker_request(self.worker_id, "set_worker_flat", np.asarray(flat, dtype=float))
+
+    @property
+    def model(self) -> Module:
+        return self._backend.materialize(self.get_parameters(), self.worker_id)
+
+    @property
+    def last_loss(self) -> float:
+        return float(self._backend.last_losses[self.worker_id])
+
+    @property
+    def local_steps_taken(self) -> int:
+        return self._backend.local_steps_taken
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardWorkerView(id={self.worker_id}, steps={self.local_steps_taken})"
+
+
+class ShardedBank(WorkerBackend):
+    """m replicas as ``n_shards`` vectorized banks on a persistent process pool.
+
+    Parameters
+    ----------
+    model_fn, shards, batch_size, lr, momentum, weight_decay, rngs, template:
+        As for :class:`~repro.distributed.worker_bank.WorkerBank`; the
+        parent consumes ``model_fn`` and the RNG streams exactly as the
+        single-process bank would, so ``"sharded"`` and ``"vectorized"``
+        runs are byte-identical.
+    n_shards:
+        Worker processes to partition the m replicas over (clamped to m).
+    mp_context:
+        Multiprocessing start method (default ``"spawn"``, the portable
+        choice that genuinely exercises the payload's spawn safety).
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        model_fn: Callable[[], Module],
+        shards: Sequence[Dataset | None],
+        *,
+        batch_size: int = 32,
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        rngs: Sequence | None = None,
+        template: Module | None = None,
+        n_shards: int = 2,
+        mp_context: str = "spawn",
+    ):
+        if not shards:
+            raise ValueError("need at least one shard (use [None, ...] for data-free runs)")
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if rngs is None:
+            rngs = [None] * len(shards)
+        if len(rngs) != len(shards):
+            raise ValueError(f"{len(shards)} shards but {len(rngs)} RNG streams")
+        if template is None:
+            template = model_fn()
+        # Every unsupported-setup check runs before any RNG stream (or extra
+        # model_fn call) is consumed, so an "auto" escalation that lands here
+        # can still fall back to the vectorized bank with pristine streams.
+        if not bank_compatible(template):
+            raise BackendUnsupported(
+                f"model {type(template).__name__} has no param-bank forward path; "
+                f"use the 'loop' backend"
+            )
+        data_free = all(shard is None for shard in shards)
+        if not data_free and any(shard is None for shard in shards):
+            raise BackendUnsupported(
+                "the sharded backend needs a dataset shard per worker "
+                "(or None for every worker on data-free objectives)"
+            )
+        if not data_free:
+            # Same rule each shard-local BankLoader will enforce, checked in
+            # the parent so an unstackable setup raises BackendUnsupported
+            # (and "auto" can fall back) before any process is spawned.
+            try:
+                effective_batch = common_effective_batch(shards, batch_size)
+            except ValueError as err:
+                raise BackendUnsupported(f"stacked sampling unavailable: {err}") from err
+        try:
+            pickle.dumps(template)
+        except Exception as err:  # noqa: BLE001 - any pickling failure means loop-only
+            raise BackendUnsupported(
+                f"model {type(template).__name__} is not picklable and cannot ship "
+                f"to shard processes ({err}); use the 'vectorized' or 'loop' backend"
+            ) from err
+
+        m = len(shards)
+        self.model = template
+        self._initial_flat = template.get_flat_parameters()
+        self._has_buffers = any(True for _ in template.named_buffers())
+        self._shard_sizes = None if data_free else [len(shard) for shard in shards]
+        self._batch_size = 0 if data_free else effective_batch
+        self.local_steps_taken = 0
+        self.last_losses = np.full(m, np.nan)
+        self.shard_slices = shard_slices(m, n_shards)
+        self.n_shards = len(self.shard_slices)
+
+        # Consume model_fn / streams exactly as the vectorized bank would:
+        # stochastic modules get the m per-worker generators the loop
+        # replicas would own; each shard then receives its contiguous slice.
+        stream_mods = list(template.stream_modules())
+        if stream_mods:
+            attach_bank_streams(template, [model_fn() for _ in range(m - 1)])
+        # Loader generators materialize in worker order (identical seed-
+        # sequence consumption to handing each worker its own BatchLoader).
+        loader_rngs = None if data_free else [check_random_state(r) for r in rngs]
+
+        payloads = []
+        for lo, hi in self.shard_slices:
+            payloads.append({
+                "template": template,
+                "shards": list(shards[lo:hi]),
+                "batch_size": batch_size,
+                "lr": lr,
+                "momentum": momentum,
+                "weight_decay": weight_decay,
+                "loader_rngs": None if loader_rngs is None else loader_rngs[lo:hi],
+                "stream_rngs": (
+                    [[mod._bank_rngs[i] for i in range(lo, hi)] for mod in stream_mods]
+                    if stream_mods
+                    else None
+                ),
+            })
+
+        self._conns, self._procs = [], []
+        self._servers: "list[_ShardServer] | None" = None
+        self._closed = False
+        #: Whether the shards run on a real process pool.  Daemonic parents
+        #: (e.g. the sweep runner's multiprocessing.Pool workers) may not
+        #: spawn children, so there the same shard servers run in-process —
+        #: identical partition and arithmetic, so a cell's stored bytes do
+        #: not depend on whether the sweep ran serially or on a pool.
+        self.pooled = not multiprocessing.current_process().daemon
+        if not self.pooled:
+            # Each server must own an isolated template + generators — the
+            # pickle round-trip mirrors exactly what crossing a process
+            # boundary does for the pooled path (shard banks attach their
+            # stream slices to *their* template, never to a shared one).
+            self._servers = [
+                _ShardServer(pickle.loads(pickle.dumps(payload))) for payload in payloads
+            ]
+            self.workers = tuple(ShardWorkerView(self, i) for i in range(m))
+            return
+
+        ctx = multiprocessing.get_context(mp_context)
+        try:
+            for payload in payloads:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_main, args=(child_conn, payload), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+            for index, conn in enumerate(self._conns):
+                status, detail = conn.recv()
+                if status != "ready":
+                    raise RuntimeError(
+                        f"shard process {index} failed to construct its bank:\n{detail}"
+                    )
+        except BaseException:
+            self.close()
+            raise
+
+        self.workers = tuple(ShardWorkerView(self, i) for i in range(m))
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pool, list(self._conns), list(self._procs)
+        )
+
+    # -- pool plumbing -------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ShardedBank is closed; its process pool is gone")
+
+    def _request_all(self, op: str, *args) -> list:
+        """Send one command to every shard, then gather the replies in order.
+
+        All shards receive the command before any reply is awaited, so
+        compute-bound commands (``local_period``) genuinely overlap across
+        the pool.  Every reply is drained even when some shard errors — a
+        partially-read round would leave stale replies queued in the pipes
+        and silently desynchronize the request/reply protocol.
+        """
+        self._ensure_open()
+        if self._servers is not None:
+            return [server.execute(op, args) for server in self._servers]
+        for conn in self._conns:
+            conn.send((op, args))
+        replies = [conn.recv() for conn in self._conns]
+        errors = [
+            f"shard process {index} failed:\n{detail}"
+            for index, (status, detail) in enumerate(replies)
+            if status != "ok"
+        ]
+        if errors:
+            raise RuntimeError("\n".join(errors))
+        return [result for _, result in replies]
+
+    def _request_shard(self, shard_index: int, op: str, *args):
+        self._ensure_open()
+        if self._servers is not None:
+            return self._servers[shard_index].execute(op, args)
+        self._conns[shard_index].send((op, args))
+        status, result = self._conns[shard_index].recv()
+        if status != "ok":
+            raise RuntimeError(f"shard process {shard_index} failed:\n{result}")
+        return result
+
+    def _locate(self, worker_id: int) -> tuple[int, int]:
+        """Map a global worker id to ``(shard_index, local_id)``."""
+        for index, (lo, hi) in enumerate(self.shard_slices):
+            if lo <= worker_id < hi:
+                return index, worker_id - lo
+        raise IndexError(f"worker_id {worker_id} out of range [0, {len(self.workers)})")
+
+    def _worker_request(self, worker_id: int, op: str, *args):
+        shard_index, local_id = self._locate(worker_id)
+        return self._request_shard(shard_index, op, local_id, *args)
+
+    def close(self) -> None:
+        """Shut the process pool down; safe to call more than once.
+
+        In-process shard servers (daemonic parents) have no pool; closing
+        just drops them and marks the backend unusable.
+        """
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        self._servers = None
+        if hasattr(self, "_finalizer"):
+            self._finalizer.detach()
+        _shutdown_pool(self._conns, self._procs)
+
+    # -- WorkerBackend protocol ----------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    def shard_sizes(self) -> "list[int] | None":
+        return None if self._shard_sizes is None else list(self._shard_sizes)
+
+    def initial_state(self) -> np.ndarray:
+        return self._initial_flat.copy()
+
+    def local_period(self, tau: int) -> np.ndarray:
+        if tau < 1:
+            raise ValueError(f"tau must be >= 1, got {tau}")
+        losses = np.concatenate(self._request_all("local_period", tau))
+        self.local_steps_taken += tau
+        self.last_losses = losses
+        return losses
+
+    def get_stacked_states(self) -> np.ndarray:
+        # Shards are contiguous worker ranges, so concatenation in shard
+        # order *is* worker order — the (m, P) array the averaging collective
+        # reduces is byte-identical to the single-process bank's.
+        return np.concatenate(self._request_all("get_states"), axis=0)
+
+    def broadcast_state(self, flat: np.ndarray) -> None:
+        self._request_all("broadcast", np.asarray(flat, dtype=float))
+
+    def set_lr(self, lr: float) -> None:
+        self._request_all("set_lr", lr)
+
+    def reset_momentum(self) -> None:
+        self._request_all("reset_momentum")
+
+    def worker_buffers(self, worker_id: int) -> dict:
+        """Copies of one worker's buffer slices (fetched from its shard)."""
+        return self._worker_request(worker_id, "get_worker_buffers")
+
+    def materialize(self, flat: np.ndarray, worker_id: int = 0) -> Module:
+        self.model.set_flat_parameters(flat)
+        if self._has_buffers:
+            # Running statistics live in the shard processes; fetch the
+            # requested worker's slices so eval sees the stats its loop/bank
+            # counterpart would.
+            buffers = self._worker_request(worker_id, "get_worker_buffers")
+            for name, value in buffers.items():
+                self.model.set_buffer(name, value)
+        return self.model
+
+    def evaluate_with_state(self, flat: np.ndarray, fn: Callable[[Module], float]):
+        # The parent template is scratch space — the shard banks hold the
+        # ground truth — so no save/restore is needed.
+        return fn(self.materialize(flat))
+
+    def rng_fingerprint(self) -> dict:
+        merged = {"loaders": [], "streams": []}
+        for fingerprint in self._request_all("rng_fingerprint"):
+            merged["loaders"].extend(fingerprint["loaders"])
+            merged["streams"].extend(fingerprint["streams"])
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedBank(n_workers={len(self.workers)}, n_shards={self.n_shards}, "
+            f"pooled={self.pooled}, closed={self._closed})"
+        )
+
+
+def _shutdown_pool(conns: list, procs: list) -> None:
+    """Best-effort clean shutdown: ask politely, then join, then terminate."""
+    for conn in conns:
+        try:
+            conn.send(("close", ()))
+        except (OSError, ValueError):
+            pass
+    for proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - stuck child safety net
+            proc.terminate()
+            proc.join(timeout=1.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+BACKENDS.register("sharded", ShardedBank)

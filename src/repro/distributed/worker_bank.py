@@ -31,8 +31,13 @@ import numpy as np
 from repro.api.registries import BACKENDS
 from repro.data.bank_loader import BankLoader
 from repro.data.synthetic import Dataset
-from repro.distributed.backends import BackendUnsupported, WorkerBackend
-from repro.nn.bank import ParameterBank, attach_bank_streams, bank_compatible
+from repro.distributed.backends import BackendUnsupported, WorkerBackend, generator_state
+from repro.nn.bank import (
+    ParameterBank,
+    attach_bank_streams,
+    attach_stream_generators,
+    bank_compatible,
+)
 from repro.nn.layers import Module
 from repro.nn.tensor import Tensor
 from repro.optim.bank_sgd import BankSGD
@@ -91,6 +96,7 @@ class WorkerBank(WorkerBackend):
         weight_decay: float = 0.0,
         rngs: Sequence | None = None,
         template: Module | None = None,
+        stream_rngs: "Sequence[Sequence] | None" = None,
     ):
         if not shards:
             raise ValueError("need at least one shard (use [None, ...] for data-free runs)")
@@ -121,8 +127,13 @@ class WorkerBank(WorkerBackend):
         # one RNG stream per worker.  Build the replicas the loop backend
         # would have built — consuming model_fn exactly as it would — and
         # hand the template their streams; stream-free models skip this and
-        # keep the bank's one-replica construction cost.
-        if any(True for _ in template.stream_modules()):
+        # keep the bank's one-replica construction cost.  A caller already
+        # holding correctly-positioned generators (a shard process of the
+        # sharded backend) injects them via ``stream_rngs`` instead, in which
+        # case ``model_fn`` is never invoked.
+        if stream_rngs is not None:
+            attach_stream_generators(template, stream_rngs, n_workers=len(shards))
+        elif any(True for _ in template.stream_modules()):
             attach_bank_streams(template, [model_fn() for _ in range(len(shards) - 1)])
         self.model = template
         self.bank = ParameterBank(template, len(shards))
@@ -202,6 +213,20 @@ class WorkerBank(WorkerBackend):
         # The template is scratch space — the bank holds the ground truth — so
         # no save/restore is needed.
         return fn(self.materialize(flat))
+
+    def rng_fingerprint(self) -> dict:
+        if self.loader is None:
+            loaders: list = [None] * self.n_workers
+        else:
+            loaders = [generator_state(ldr._rng) for ldr in self.loader.loaders]
+        stream_mods = list(self.model.stream_modules())
+        return {
+            "loaders": loaders,
+            "streams": [
+                [generator_state(mod._bank_rngs[i]) for mod in stream_mods]
+                for i in range(self.n_workers)
+            ],
+        }
 
 
 BACKENDS.register("vectorized", WorkerBank)

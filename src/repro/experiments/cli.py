@@ -9,8 +9,9 @@ The experiment is composed declaratively from the ``repro.api`` registries:
 * ``--config`` takes a named config *or* a path to a JSON file produced by
   ``ExperimentConfig.to_dict()`` / ``Experiment.save()``;
 * ``--model`` swaps the model by registry name;
-* ``--backend`` selects the worker-execution engine (``auto``, ``loop``, or
-  ``vectorized`` — see ``--list backends``);
+* ``--backend`` selects the worker-execution engine (``auto``, ``loop``,
+  ``vectorized``, or ``sharded`` — see ``--list backends``; the sharded pool
+  size comes from ``--set backend_shards=N``);
 * ``--set key=value`` (repeatable) overrides any config field, with values
   parsed as Python literals (``--set n_workers=4 --set delay=pareto``);
 * ``--list {configs,models,datasets,delays,schedules,scalings,lr_schedules,backends,sweeps}``
@@ -29,7 +30,6 @@ experiments against a persistent, content-addressed result store:
 from __future__ import annotations
 
 import argparse
-import ast
 import json
 import os
 import sys
@@ -53,6 +53,7 @@ from repro.experiments.tables import (
     sweep_summary_table,
     time_to_loss_table,
 )
+from repro.utils.cli import key_value_parser
 
 __all__ = ["build_parser", "main"]
 
@@ -64,20 +65,6 @@ def _config_arg(value: str) -> str:
     raise argparse.ArgumentTypeError(
         f"unknown config {value!r}; pass one of {available_configs()} or a JSON file path"
     )
-
-
-def _parse_override(pair: str) -> tuple[str, object]:
-    """Parse one ``--set key=value`` pair; values are Python literals or strings."""
-    key, sep, raw = pair.partition("=")
-    if not sep or not key:
-        raise argparse.ArgumentTypeError(
-            f"--set expects key=value, got {pair!r}"
-        )
-    try:
-        value: object = ast.literal_eval(raw)
-    except (ValueError, SyntaxError):
-        value = raw
-    return key, value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,10 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--model", default=None, metavar="NAME",
                         help="override the model by registry name (see --list models)")
     parser.add_argument("--backend", default=None, metavar="NAME",
-                        help="worker-execution backend: auto, loop, or vectorized "
-                             "(see --list backends; auto picks vectorized when supported)")
+                        help="worker-execution backend: auto, loop, vectorized, or sharded "
+                             "(see --list backends; auto picks vectorized when supported and "
+                             "escalates to sharded at large n_workers)")
     parser.add_argument("--set", dest="overrides", action="append", default=[],
-                        type=_parse_override, metavar="KEY=VALUE",
+                        type=key_value_parser("--set"), metavar="KEY=VALUE",
                         help="override any config field (repeatable), e.g. --set n_workers=4")
     parser.add_argument("--sweep", default=None, metavar="NAME",
                         help="run a registered experiment campaign instead of a single "

@@ -69,12 +69,17 @@ class ExperimentConfig:
     n_classes: int = 10
     # Cluster.  ``backend`` selects the worker-execution engine: "loop" steps
     # one Worker object per replica (the reference implementation),
-    # "vectorized" runs all replicas as stacked NumPy ops, and "auto"
-    # (default) picks vectorized whenever the model supports it — which
-    # every registered model does.
+    # "vectorized" runs all replicas as stacked NumPy ops, "sharded" splits
+    # the stacked bank over ``backend_shards`` worker processes, and "auto"
+    # (default) picks sharded at or above ``auto_shard_threshold`` workers,
+    # else vectorized whenever the model supports it — which every
+    # registered model does.  All backends are byte-identical, so these
+    # knobs change the process layout, never the trajectory.
     n_workers: int = 4
     batch_size: int = 8
     backend: str = "auto"
+    backend_shards: int = 2
+    auto_shard_threshold: "int | None" = 64
     # Averaging-collective weighting: "uniform" (paper, eq. 3) or
     # "shard_size" (FedAvg-style, for unbalanced partitions).
     weighting: str = "uniform"
@@ -194,6 +199,12 @@ class ExperimentConfig:
             LR_SCHEDULES.get(self.lr_schedule)
         if self.backend != "auto":
             BACKENDS.get(self.backend)
+        if self.backend_shards < 1:
+            raise ValueError(f"backend_shards must be >= 1, got {self.backend_shards}")
+        if self.auto_shard_threshold is not None and self.auto_shard_threshold < 1:
+            raise ValueError(
+                f"auto_shard_threshold must be >= 1 or None, got {self.auto_shard_threshold}"
+            )
         if self.weighting not in ("uniform", "shard_size"):
             raise ValueError(
                 f"unknown weighting {self.weighting!r}; choose 'uniform' or 'shard_size'"

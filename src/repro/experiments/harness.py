@@ -14,8 +14,10 @@ spec string ("sync-sgd", "pasgd-tau20", "adacomm", or
 "<schedule>:key=value,...") from ``COMM_SCHEDULES``.  The worker-execution
 backend comes from ``BACKENDS``: the default ``backend="auto"`` runs the
 vectorized worker bank for every registered model (CNNs, batch-norm nets,
-dropout, and data-free objectives included); the per-worker loop remains as
-the reference implementation for third-party models without a bank path.
+dropout, and data-free objectives included), escalating to the sharded
+multi-process bank at large cluster sizes (``auto_shard_threshold``); the
+per-worker loop remains as the reference implementation for third-party
+models without a bank path.
 """
 
 from __future__ import annotations
@@ -303,39 +305,45 @@ def run_method(
         seed=seeds.spawn(),
         backend=config.backend,
         weighting=config.weighting,
+        n_shards=config.backend_shards,
+        auto_shard_threshold=config.auto_shard_threshold,
     )
 
-    iters_per_epoch = max(1, len(train_set) // (config.batch_size * config.n_workers))
-    trainer = PASGDTrainer(
-        cluster=cluster,
-        schedule=method.schedule_fn(),
-        lr_schedule=_build_lr_schedule(config),
-        train_eval_data=(train_set.X, train_set.y),
-        test_eval_data=(test_set.X, test_set.y),
-        config=TrainerConfig(
-            max_wall_time=config.wall_time_budget,
-            eval_every_rounds=config.eval_every_rounds,
-            iterations_per_epoch=iters_per_epoch,
-            record_discrepancy=record_discrepancy,
-        ),
-        name=method.label,
-        rng=seeds.generator(),
-    )
-    record = trainer.train()
-    record.config.update(
-        {
-            "experiment": config.name,
-            "model": config.model,
-            "dataset": config.dataset,
-            "alpha": config.alpha,
-            "n_workers": config.n_workers,
-            "block_momentum": config.block_momentum_beta,
-            "variable_lr": config.variable_lr,
-            "backend": cluster.backend_name,
-        }
-    )
-    record.config["event_breakdown"] = cluster.events.breakdown()
-    return record
+    try:
+        iters_per_epoch = max(1, len(train_set) // (config.batch_size * config.n_workers))
+        trainer = PASGDTrainer(
+            cluster=cluster,
+            schedule=method.schedule_fn(),
+            lr_schedule=_build_lr_schedule(config),
+            train_eval_data=(train_set.X, train_set.y),
+            test_eval_data=(test_set.X, test_set.y),
+            config=TrainerConfig(
+                max_wall_time=config.wall_time_budget,
+                eval_every_rounds=config.eval_every_rounds,
+                iterations_per_epoch=iters_per_epoch,
+                record_discrepancy=record_discrepancy,
+            ),
+            name=method.label,
+            rng=seeds.generator(),
+        )
+        record = trainer.train()
+        record.config.update(
+            {
+                "experiment": config.name,
+                "model": config.model,
+                "dataset": config.dataset,
+                "alpha": config.alpha,
+                "n_workers": config.n_workers,
+                "block_momentum": config.block_momentum_beta,
+                "variable_lr": config.variable_lr,
+                "backend": cluster.backend_name,
+            }
+        )
+        record.config["event_breakdown"] = cluster.events.breakdown()
+        return record
+    finally:
+        # Shut the sharded backend's process pool down (no-op elsewhere).
+        cluster.close()
 
 
 def run_experiment(

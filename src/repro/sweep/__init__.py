@@ -10,9 +10,10 @@ This package makes a campaign a first-class, declarative object:
   seeded random-search subsample of the expansion;
 * :class:`ResultStore` — a persistent on-disk store keyed by the hash of
   each cell's canonical config dict, so completed cells are never re-run
-  and a killed campaign resumes for free; ``merge_from`` unions stores from
-  different machines and ``gc`` prunes cells no manifest references (both
-  also on the CLI: ``python -m repro.sweep {merge,gc}``);
+  and a killed campaign resumes for free; ``query`` filters manifest cells
+  by recorded axis overrides, ``merge_from`` unions stores from different
+  machines, and ``gc`` prunes cells no manifest references (all also on the
+  CLI: ``python -m repro.sweep {query,merge,gc}``);
 * :class:`SweepRunner` / :func:`run_sweep` — serial or process-parallel
   execution with live progress and a :class:`SweepReport`;
 * named campaigns in the ``SWEEPS`` registry (``repro.sweep.campaigns``).
@@ -34,7 +35,7 @@ address is already populated — and the figure/table helpers in
 
 from repro.sweep.runner import SweepReport, SweepRunner, run_sweep
 from repro.sweep.spec import SweepCell, SweepSpec, cell_hash, derive_cell_seed, grid, paired
-from repro.sweep.store import CellResult, MergeReport, ResultStore
+from repro.sweep.store import CellResult, MergeReport, QueryHit, ResultStore
 
 __all__ = [
     "SweepSpec",
@@ -46,6 +47,7 @@ __all__ = [
     "ResultStore",
     "CellResult",
     "MergeReport",
+    "QueryHit",
     "SweepRunner",
     "SweepReport",
     "run_sweep",

@@ -1,8 +1,16 @@
-"""Result-store maintenance verbs: ``python -m repro.sweep {merge,gc}``.
+"""Result-store maintenance verbs: ``python -m repro.sweep {query,merge,gc}``.
 
 Campaign *execution* lives on the main CLI (``python -m repro --sweep``);
-this entry point maintains the persistent stores those campaigns populate:
+this entry point inspects and maintains the persistent stores those
+campaigns populate:
 
+* ``query <store> [--where key=value ...]`` — list manifest cells whose
+  recorded axis ``overrides`` match every given pair exactly (values parse
+  as Python literals, so ``--where tau=4`` matches the integer axis value).
+  Cells missing a queried key never match; each hit shows its campaign,
+  content address, overrides, and whether its result is stored (``done``)
+  or still pending — so the verb answers both "which cells swept τ = 4"
+  and "what is left to run".
 * ``merge <src> <dst>`` — union one store's completed cells and campaign
   manifests into another.  Safe because cells are content-addressed and
   byte-deterministic: a cell sharded to another machine comes back as the
@@ -23,6 +31,7 @@ import argparse
 import sys
 
 from repro.sweep.store import ResultStore
+from repro.utils.cli import key_value_parser
 
 __all__ = ["build_parser", "main"]
 
@@ -30,9 +39,23 @@ __all__ = ["build_parser", "main"]
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sweep",
-        description="Maintain sweep result stores (merge across machines, prune orphans).",
+        description="Inspect and maintain sweep result stores "
+        "(query cells by axis value, merge across machines, prune orphans).",
     )
     sub = parser.add_subparsers(dest="verb", required=True)
+
+    query = sub.add_parser(
+        "query",
+        help="list manifest cells whose recorded axis overrides match every "
+        "--where key=value pair exactly",
+    )
+    query.add_argument("store", help="store directory to query")
+    query.add_argument("--where", dest="where", action="append", default=[],
+                       type=key_value_parser("--where"), metavar="KEY=VALUE",
+                       help="exact-match filter on recorded overrides (repeatable; "
+                            "values parse as Python literals, e.g. --where tau=4)")
+    query.add_argument("--campaign", default=None, metavar="NAME",
+                       help="restrict to one campaign manifest (default: all)")
 
     merge = sub.add_parser(
         "merge",
@@ -52,6 +75,24 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--dry-run", action="store_true",
                     help="list what would be removed without deleting")
     return parser
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    where = dict(args.where)
+    try:
+        hits = store.query(where, campaign=args.campaign)
+    except KeyError as err:
+        print(f"error: {err.args[0]}", file=sys.stderr)
+        return 1
+    for hit in hits:
+        status = "done   " if hit.completed else "pending"
+        print(f"[query] {status} {hit.campaign}  {hit.address}  {hit.label}")
+    tag = ", ".join(f"{k}={v!r}" for k, v in where.items()) or "<all>"
+    done = sum(hit.completed for hit in hits)
+    print(f"[query] {store.root}: {len(hits)} cell(s) match {tag} "
+          f"({done} done, {len(hits) - done} pending)")
+    return 0
 
 
 def _run_merge(args: argparse.Namespace) -> int:
@@ -93,6 +134,8 @@ def _run_gc(args: argparse.Namespace) -> int:
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.verb == "query":
+        return _run_query(args)
     if args.verb == "merge":
         return _run_merge(args)
     return _run_gc(args)

@@ -10,7 +10,9 @@ JSON-round-trippable config.
 
 Cells are identified by a **content address**: the SHA-256 hash of the
 canonical (sorted-key JSON) form of the cell's config dict, with the
-cosmetic ``name`` field excluded.  Two sweeps that expand to the same
+cosmetic ``name`` field and the process-layout fields (``backend_shards``,
+``auto_shard_threshold`` — they select how many processes execute the bank,
+never what it computes) excluded.  Two sweeps that expand to the same
 physics therefore share cells, a renamed campaign keeps its cache, and the
 :class:`~repro.sweep.store.ResultStore` can skip any cell whose address is
 already populated.
@@ -108,15 +110,25 @@ def _resolve_axis(name: str, value: Any) -> dict[str, Any]:
     return {name: value}
 
 
+#: Config fields excluded from the content address: ``name`` is display
+#: metadata, and the process-layout knobs select how the worker bank is
+#: executed (how many shard processes, when auto escalates) — the backends
+#: are byte-identical, so these can never change a stored result.  Excluding
+#: them keeps re-runs under a different layout (and stores populated before
+#: the fields existed) as pure cache hits.
+HASH_EXCLUDED_FIELDS = ("name", "backend_shards", "auto_shard_threshold")
+
+
 def cell_hash(config: ExperimentConfig) -> str:
     """Content address of a cell: hash of its canonical config dict.
 
-    The ``name`` field is excluded — it is display metadata, and excluding
-    it lets a renamed campaign (or a different campaign reaching the same
-    point) reuse stored results.
+    The fields in :data:`HASH_EXCLUDED_FIELDS` are excluded — they affect
+    presentation or process layout only, never the trajectory, so cells
+    reaching the same physics share an address (and its stored result).
     """
     payload = config.to_dict()
-    payload.pop("name", None)
+    for field_name in HASH_EXCLUDED_FIELDS:
+        payload.pop(field_name, None)
     canonical = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:HASH_LENGTH]
 

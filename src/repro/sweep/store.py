@@ -28,7 +28,7 @@ from typing import Any, Iterator
 from repro.sweep.spec import format_overrides
 from repro.utils.results import RunStore
 
-__all__ = ["ResultStore", "CellResult", "MergeReport"]
+__all__ = ["ResultStore", "CellResult", "MergeReport", "QueryHit"]
 
 _CELL_FILE = "cell.json"
 _RESULT_FILE = "result.json"
@@ -49,6 +49,22 @@ class CellResult:
         if overrides:
             return format_overrides(overrides)
         return self.meta.get("name", self.address)
+
+
+@dataclass(frozen=True)
+class QueryHit:
+    """One manifest cell matched by :meth:`ResultStore.query`."""
+
+    campaign: str
+    address: str
+    #: Axis assignments the campaign recorded for this cell.
+    overrides: dict[str, Any]
+    #: Whether the cell's result is present in the store.
+    completed: bool
+
+    @property
+    def label(self) -> str:
+        return format_overrides(self.overrides) if self.overrides else self.address
 
 
 @dataclass(frozen=True)
@@ -183,6 +199,44 @@ class ResultStore:
         if not manifest_dir.is_dir():
             return []
         return sorted(p.stem for p in manifest_dir.glob("*.json"))
+
+    def query(
+        self,
+        where: "dict[str, Any] | None" = None,
+        campaign: "str | None" = None,
+    ) -> list[QueryHit]:
+        """Manifest cells whose recorded ``overrides`` match ``where`` exactly.
+
+        Every campaign manifest records, per cell, the axis assignments that
+        produced it (``{"tau": 4, "seed": 7}``); ``query`` filters on those.
+        A cell matches when it has **every** key in ``where`` with an equal
+        value — a cell missing a key does not match (its campaign never set
+        that axis), and an empty/absent ``where`` lists everything.  Values
+        are compared after a JSON round-trip, because that is how the
+        manifest stored them: a tuple-valued axis (``hidden_sizes=(8,)``)
+        matches its recorded ``[8]`` form.  Results
+        are sorted by (campaign, cell enumeration order); ``completed``
+        distinguishes stored results from still-pending addresses, so the
+        verb also answers "what is left to run".
+        """
+        where = json.loads(json.dumps(dict(where or {})))
+        campaigns = [campaign] if campaign is not None else self.campaigns()
+        hits: list[QueryHit] = []
+        for name in campaigns:
+            for cell in self.manifest(name).get("cells", []):
+                overrides = dict(cell.get("overrides", {}))
+                if any(key not in overrides or overrides[key] != value
+                       for key, value in where.items()):
+                    continue
+                hits.append(
+                    QueryHit(
+                        campaign=name,
+                        address=cell["address"],
+                        overrides=overrides,
+                        completed=cell["address"] in self,
+                    )
+                )
+        return hits
 
     # -- maintenance (merge / gc) ------------------------------------------
 

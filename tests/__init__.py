@@ -1,0 +1,6 @@
+"""Test package for the repro library.
+
+A real package (not just a directory of files) so that the shared
+equivalence-matrix helpers import as ``tests.conftest`` and the golden-
+fixture regeneration script runs as ``python -m tests.regen_golden``.
+"""

@@ -1,6 +1,19 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures + the backend-equivalence matrix for the test suite.
+
+Beyond the small workload fixtures, this module is the single home of the
+loop↔bank↔sharded **equivalence matrix**: every ``MODELS`` registry entry
+(plus batch-norm/dropout variants and the data-free quadratic objective)
+crossed with every non-reference execution backend.  ``equivalence_cases()``
+and ``EQUIVALENCE_BACKENDS`` parametrize ``tests/test_equivalence_matrix.py``;
+``build_equivalence_cluster`` and ``trajectory_fingerprint`` are the shared
+drivers, so new models or backends are covered by adding one case or one
+name here instead of copying assertions across test files.
+"""
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 import pytest
@@ -55,3 +68,181 @@ def stochastic_runtime():
         n_workers=4,
         rng=1,
     )
+
+
+# -- backend-equivalence matrix ---------------------------------------------
+#
+# The contract pinned here is the one every fast backend is built on: with
+# the same seeds, its per-step trajectory — per-worker losses, stacked
+# parameter states, synchronized averages, eval losses (which see batch-norm
+# buffers), and the positions of every RNG stream — must be *byte-identical*
+# to the loop reference implementation.  Exact equality, no tolerances.
+
+#: Backends checked against the "loop" reference.
+EQUIVALENCE_BACKENDS = ("vectorized", "sharded")
+
+#: n_features used for data cases; must view as a square image (3 × 2 × 2)
+#: so the CNN registry entries accept it alongside the dense models.
+EQUIVALENCE_FEATURES = 12
+_EQ_CLASSES = 4
+
+
+@dataclass(frozen=True)
+class EquivalenceCase:
+    """One workload of the matrix: a deterministic model factory + data kind."""
+
+    id: str
+    model_fn: Callable
+    #: "data" cases shard a dataset across workers; "data_free" cases run a
+    #: stochastic objective with ``dataset=None`` (only the quadratic
+    #: objective supports this — dataset models need shards by definition).
+    kind: str = "data"
+    #: Local-optimizer momentum; one case pins the plain-SGD (0.0) update
+    #: path, the rest exercise the momentum buffers.
+    momentum: float = 0.9
+
+
+def _registry_model_fn(name: str) -> Callable:
+    """A deterministic factory for one ``MODELS`` registry entry."""
+    from repro.api.registries import MODELS
+    from repro.api.registry import filter_kwargs
+
+    builder = MODELS.get(name)
+    kwargs = filter_kwargs(
+        builder,
+        dict(
+            n_features=EQUIVALENCE_FEATURES,
+            n_classes=_EQ_CLASSES,
+            hidden_sizes=(8,),
+            rng=11,
+        ),
+    )
+    return lambda: builder(**kwargs)
+
+
+def _quadratic_model_fn() -> Callable:
+    from repro.models.quadratic import NoisyQuadraticProblem, QuadraticObjective
+
+    objective = QuadraticObjective.random(dim=6, rng=0, noise_std=0.1)
+    return lambda: NoisyQuadraticProblem(objective, x0=np.ones(6) * 3.0, rng=0)
+
+
+def equivalence_cases() -> list[EquivalenceCase]:
+    """All matrix workloads: every registry model, layer variants, data-free."""
+    from repro.models.registry import available_models
+
+    cases = [
+        EquivalenceCase(id=name, model_fn=_registry_model_fn(name))
+        for name in sorted(available_models())
+    ]
+    cases.append(
+        EquivalenceCase(
+            id="mlp+batch_norm+dropout",
+            model_fn=lambda: MLP(
+                EQUIVALENCE_FEATURES, _EQ_CLASSES, hidden_sizes=(8,),
+                batch_norm=True, dropout=0.3, rng=2,
+            ),
+        )
+    )
+    cases.append(
+        EquivalenceCase(
+            id="mlp+plain_sgd",
+            model_fn=_registry_model_fn("mlp"),
+            momentum=0.0,
+        )
+    )
+    cases.append(
+        EquivalenceCase(id="noisy_quadratic", model_fn=_quadratic_model_fn(), kind="data_free")
+    )
+    return cases
+
+
+def build_equivalence_cluster(case: EquivalenceCase, backend: str, n_workers: int = 4):
+    """A small seeded cluster for one matrix workload on one backend.
+
+    Sharded clusters run on 2 processes (close them after use); all other
+    knobs are identical across backends by construction.
+    """
+    from repro.distributed.cluster import SimulatedCluster
+
+    dataset = (
+        None
+        if case.kind == "data_free"
+        else make_gaussian_blobs(
+            n_samples=160,
+            n_features=EQUIVALENCE_FEATURES,
+            n_classes=_EQ_CLASSES,
+            class_sep=2.0,
+            rng=3,
+        )
+    )
+    runtime = RuntimeSimulator(
+        ConstantDelay(1.0),
+        NetworkModel(2.0, "constant"),
+        n_workers=n_workers,
+        rng=0,
+    )
+    return SimulatedCluster(
+        model_fn=case.model_fn,
+        dataset=dataset,
+        runtime=runtime,
+        n_workers=n_workers,
+        batch_size=8,
+        lr=0.05,
+        momentum=case.momentum,
+        weight_decay=1e-4,
+        seed=17,
+        backend=backend,
+        n_shards=2,
+    )
+
+
+def _eval_loss_metric(model, X, y):
+    was_training = model.training
+    model.eval()
+    try:
+        return float(model.loss(X, y).item())
+    finally:
+        model.train(was_training)
+
+
+def trajectory_fingerprint(cluster, rounds: int = 2, tau: int = 3) -> dict:
+    """Everything that must match byte-for-byte across backends, per round.
+
+    Collects per-worker period losses, the pre-averaging stacked ``(m, P)``
+    states, the synchronized averages, an eval-mode loss of the synchronized
+    model (which exercises per-worker batch-norm buffers on data workloads),
+    and the final positions of every per-worker RNG stream.
+    """
+    fingerprint: dict = {"losses": [], "states": [], "synced": [], "eval_losses": []}
+    probe = make_gaussian_blobs(
+        n_samples=40, n_features=EQUIVALENCE_FEATURES, n_classes=_EQ_CLASSES, rng=9
+    )
+    data_free = cluster.backend.shard_sizes() is None
+    for _ in range(rounds):
+        fingerprint["losses"].append(cluster.backend.local_period(tau).tolist())
+        fingerprint["states"].append(cluster.backend.get_stacked_states())
+        fingerprint["synced"].append(cluster.average_models())
+        if not data_free:
+            fingerprint["eval_losses"].append(
+                cluster.evaluate_synchronized(probe.X, probe.y, _eval_loss_metric)
+            )
+    fingerprint["rng"] = cluster.backend.rng_fingerprint()
+    return fingerprint
+
+
+def assert_fingerprints_identical(reference: dict, candidate: dict, label: str) -> None:
+    """Byte-exact comparison of two :func:`trajectory_fingerprint` results."""
+    assert candidate["losses"] == reference["losses"], f"{label}: period losses diverged"
+    for round_index, (ref, got) in enumerate(zip(reference["states"], candidate["states"])):
+        np.testing.assert_array_equal(
+            got, ref, err_msg=f"{label}: stacked states diverged at round {round_index}"
+        )
+    for round_index, (ref, got) in enumerate(zip(reference["synced"], candidate["synced"])):
+        np.testing.assert_array_equal(
+            got, ref, err_msg=f"{label}: synchronized params diverged at round {round_index}"
+        )
+    assert candidate["eval_losses"] == reference["eval_losses"], (
+        f"{label}: eval losses diverged (buffer state?)"
+    )
+    assert candidate["rng"] == reference["rng"], f"{label}: RNG stream positions diverged"

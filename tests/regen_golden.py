@@ -1,0 +1,82 @@
+"""Golden-trajectory fixtures: generation logic + regeneration entry point.
+
+The golden suite (``tests/test_golden.py``) byte-compares the full JSON
+payload of small seeded end-to-end harness runs against fixtures committed
+under ``tests/golden/``.  Any refactor that preserves the simulator's
+physics leaves the fixtures untouched; any change that moves a single float
+shows up as a byte diff against known-good trajectories.
+
+When a change *intentionally* alters trajectories (a new RNG consumer, a
+config-schema change, a different default), regenerate and commit::
+
+    PYTHONPATH=src python -m tests.regen_golden
+
+The payloads are deterministic by construction: seeded NumPy end to end, no
+timestamps, canonical JSON (sorted keys, fixed indentation, trailing
+newline) — the same bytes on every run of the same environment, and across
+backends.  One caveat: bitwise float reproducibility of matmul-heavy
+trajectories is only guaranteed per NumPy/BLAS build; on a machine with a
+different BLAS (e.g. Accelerate vs OpenBLAS) a golden mismatch with no code
+change means *regenerate locally and diff* — an empty diff after
+regeneration confirms the tree is fine and only the platform differs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.configs import ExperimentConfig, make_config
+from repro.experiments.harness import run_experiment
+
+__all__ = ["GOLDEN_DIR", "golden_configs", "golden_payload", "render_golden", "main"]
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def golden_configs() -> dict[str, ExperimentConfig]:
+    """The fixture workloads: small, fast, and collectively broad.
+
+    Dense + conv + batch-norm/dropout models, multiple methods (fixed τ and
+    ADACOMM), both bank-backend paths — so a regression anywhere in the
+    data/nn/optim/distributed/harness stack moves at least one fixture.
+    """
+    base = dict(n_train=160, n_test=60, momentum=0.9)
+    return {
+        "smoke_mlp_sync_adacomm": make_config(
+            "smoke", **base, wall_time_budget=20.0, methods=("sync-sgd", "adacomm")
+        ),
+        "smoke_cnn_tau4": make_config(
+            "smoke", **base, model="vgg_lite_cnn", wall_time_budget=15.0,
+            methods=("pasgd-tau4",),
+        ),
+        "smoke_bn_dropout_tau2": make_config(
+            "smoke", **base, wall_time_budget=15.0, methods=("pasgd-tau2",),
+            model_kwargs={"batch_norm": True, "dropout": 0.2},
+        ),
+    }
+
+
+def golden_payload(config: ExperimentConfig) -> dict:
+    """Run one fixture workload end to end and return its full payload."""
+    return {"config": config.to_dict(), "runs": run_experiment(config).to_payload()}
+
+
+def render_golden(payload: dict) -> str:
+    """Canonical byte form of a fixture: sorted keys, indent 2, one trailing NL."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, config in golden_configs().items():
+        path = GOLDEN_DIR / f"{name}.json"
+        content = render_golden(golden_payload(config))
+        changed = not path.exists() or path.read_text() != content
+        path.write_text(content)
+        print(f"[golden] {'wrote  ' if changed else 'kept   '} {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Byte-compare current end-to-end trajectories against committed goldens.
+
+The fixtures under ``tests/golden/`` are the canonical JSON payloads of
+small seeded harness runs (see ``tests/regen_golden.py``).  These tests
+re-run each workload in-process and demand the exact committed bytes, so any
+refactor that silently changes a trajectory — one float, one RNG draw, one
+config default — fails here with a diffable fixture name instead of passing
+unnoticed.  Intentional changes regenerate with
+``python -m tests.regen_golden`` and commit the diff.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+import pytest
+
+from tests.regen_golden import (
+    GOLDEN_DIR,
+    golden_configs,
+    golden_payload,
+    render_golden,
+)
+
+CONFIGS = golden_configs()
+
+
+def test_every_fixture_is_committed():
+    committed = sorted(p.stem for p in GOLDEN_DIR.glob("*.json"))
+    assert committed == sorted(CONFIGS), (
+        "tests/golden/ out of sync with golden_configs(); run "
+        "`python -m tests.regen_golden` and commit the result"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_trajectory_matches_committed_bytes(name):
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.is_file(), f"missing fixture {path}; run `python -m tests.regen_golden`"
+    expected = path.read_text()
+    actual = render_golden(golden_payload(CONFIGS[name]))
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(), actual.splitlines(),
+                fromfile=f"golden/{name}.json", tofile="current run", lineterm="", n=2,
+            )
+        )
+        pytest.fail(
+            f"golden trajectory {name!r} diverged from the committed bytes.\n"
+            f"If this change is intentional, run `python -m tests.regen_golden` "
+            f"and commit the updated fixture.\nFirst differences:\n"
+            + "\n".join(diff.splitlines()[:40])
+        )
+
+
+def test_regeneration_is_deterministic():
+    """Two in-process runs of the same workload produce identical bytes."""
+    name = "smoke_mlp_sync_adacomm"
+    first = render_golden(golden_payload(CONFIGS[name]))
+    second = render_golden(golden_payload(CONFIGS[name]))
+    assert first == second

@@ -561,6 +561,100 @@ class TestStoreMergeAndGC:
         assert len(resumed.executed) == 4 - completed_before_resume
 
 
+class TestHashExcludesProcessLayout:
+    def test_layout_fields_do_not_change_addresses(self):
+        base = make_config("smoke")
+        assert cell_hash(base) == cell_hash(
+            base.with_overrides(backend_shards=8, auto_shard_threshold=2)
+        )
+        # Physics fields still change the address.
+        assert cell_hash(base) != cell_hash(base.with_overrides(lr=0.123))
+
+    def test_sweeps_differing_only_in_layout_share_cells(self, tmp_path):
+        store_dir = tmp_path / "store"
+        first = run_sweep(tiny_spec(), store_dir)
+        assert len(first.executed) == 4
+        # Same campaign re-run under a different process layout: pure cache hits.
+        relaid = tiny_spec(backend_shards=4, auto_shard_threshold=2)
+        second = run_sweep(relaid, store_dir)
+        assert second.executed == [] and len(second.cached) == 4
+
+
+class TestStoreQuery:
+    def _populated(self, tmp_path):
+        store_dir = tmp_path / "store"
+        run_sweep(tiny_spec(), store_dir)
+        return ResultStore(store_dir)
+
+    def test_exact_match_filters_by_recorded_overrides(self, tmp_path):
+        store = self._populated(tmp_path)
+        hits = store.query({"tau": 4})
+        assert len(hits) == 2
+        assert all(hit.overrides["tau"] == 4 for hit in hits)
+        assert sorted(hit.overrides["seed"] for hit in hits) == [7, 8]
+        assert all(hit.completed and hit.campaign == "tiny" for hit in hits)
+        # Conjunction of keys narrows to a single cell.
+        (hit,) = store.query({"tau": 4, "seed": 7})
+        assert hit.overrides == {"tau": 4, "seed": 7}
+        assert hit.address in store
+
+    def test_missing_key_and_value_type_mismatches_never_match(self, tmp_path):
+        store = self._populated(tmp_path)
+        # No cell ever set an "m" axis, so querying it matches nothing.
+        assert store.query({"m": 2}) == []
+        # Exact equality, not string coercion: "4" != 4.
+        assert store.query({"tau": "4"}) == []
+        assert store.query({"tau": 99}) == []
+
+    def test_tuple_values_match_their_json_list_form(self, tmp_path):
+        # Manifests store overrides as JSON, so a tuple-valued axis is
+        # recorded as a list; the query must match the config-side tuple.
+        store_dir = tmp_path / "store"
+        base = make_config("smoke", n_train=120, n_test=40, wall_time_budget=8.0)
+        spec = SweepSpec(
+            "tuples", base, grid(hidden_sizes=[(16,), (16, 8)], tau=[1])
+        )
+        run_sweep(spec, store_dir)
+        store = ResultStore(store_dir)
+        hits = store.query({"hidden_sizes": (16,)})
+        assert len(hits) == 1 and hits[0].overrides["hidden_sizes"] == [16]
+        assert len(store.query({"hidden_sizes": [16, 8]})) == 1
+
+    def test_empty_where_lists_everything_and_flags_pending(self, tmp_path):
+        store = self._populated(tmp_path)
+        hits = store.query()
+        assert len(hits) == 4 and all(hit.completed for hit in hits)
+        # Drop one result file: the manifest still lists the cell, but it
+        # now reports as pending (what is left to run).
+        victim = hits[0].address
+        (store.cell_dir(victim) / "result.json").unlink()
+        refreshed = {hit.address: hit.completed for hit in store.query()}
+        assert refreshed[victim] is False
+        assert sum(refreshed.values()) == 3
+
+    def test_campaign_restriction_and_unknown_campaign(self, tmp_path):
+        store = self._populated(tmp_path)
+        assert len(store.query(campaign="tiny")) == 4
+        with pytest.raises(KeyError, match="no manifest"):
+            store.query(campaign="nope")
+
+    def test_query_verb_cli(self, tmp_path, capsys):
+        from repro.sweep.__main__ import main
+
+        store_dir = tmp_path / "store"
+        run_sweep(tiny_spec(), store_dir)
+        assert main(["query", str(store_dir), "--where", "tau=4"]) == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s) match tau=4" in out and "done" in out
+        assert main(["query", str(store_dir), "--where", "tau=4",
+                     "--where", "seed=7"]) == 0
+        assert "1 cell(s) match" in capsys.readouterr().out
+        assert main(["query", str(store_dir), "--where", "m=2"]) == 0
+        assert "0 cell(s) match" in capsys.readouterr().out
+        assert main(["query", str(store_dir), "--campaign", "nope"]) == 1
+        assert "no manifest" in capsys.readouterr().err
+
+
 class TestSweepMaintenanceCLI:
     def test_merge_verb(self, tmp_path, capsys):
         from repro.sweep.__main__ import main
