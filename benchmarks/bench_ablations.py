@@ -19,7 +19,7 @@ import numpy as np
 from repro.core.adacomm import AdaCommConfig
 from repro.core.schedules import AdaCommSchedule
 from repro.experiments.configs import make_config
-from repro.experiments.harness import MethodSpec, run_experiment, run_method
+from repro.experiments.harness import MethodSpec, run_experiment
 
 TARGET_LOSS = 0.80
 BASE_CONFIG_NAME = "vgg_cifar10_fixed_lr"

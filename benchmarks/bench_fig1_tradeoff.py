@@ -9,8 +9,6 @@ from the same pair of runs on the communication-heavy workload.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.schedules import FixedCommunicationSchedule
 from repro.experiments.configs import make_config
 from repro.experiments.harness import MethodSpec, run_experiment

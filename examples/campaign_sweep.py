@@ -33,7 +33,7 @@ def main() -> None:
     print(f"campaign {spec.name!r}: {spec.n_cells} cells -> {store_dir}\n")
 
     report = run_sweep(spec, store=store_dir, jobs=2, progress=print)
-    print()
+    print(f"first pass executed {len(report.executed)} cells\n")
 
     # Second pass: the store is content-addressed, so nothing re-executes.
     again = run_sweep(spec, store=store_dir, jobs=2)

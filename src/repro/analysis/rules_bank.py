@@ -1,0 +1,300 @@
+"""BANK001 + API001: bank parity and registry hygiene.
+
+BANK001 — the vectorized/sharded backends are only trustworthy because
+every layer that overrides ``bank_forward`` is exercised by the
+equivalence matrix in ``tests/conftest.py``.  That matrix pins the set
+of bank-capable layers in ``BANK_EQUIVALENCE_LAYERS``; this rule
+statically extracts every class in ``src/`` defining a concrete
+``bank_forward`` and cross-checks the two.  A new layer that adds
+``bank_forward`` without joining the matrix fails lint (at the class
+definition); a declaration entry whose class no longer exists fails lint
+(at the conftest line).  A runtime test closes the remaining gap by
+asserting the declaration matches the layers actually instantiated by
+the equivalence cases.
+
+API001 — the component registries (``MODELS``, ``OBJECTIVES``, ...)
+raise on duplicate names, but only at import time of the *second*
+registrant, which may be lazy.  This rule surfaces duplicate
+``.register("name")`` calls across modules at lint time, and checks that
+``__all__`` lists only names actually defined in the module (a stale
+``__all__`` entry breaks ``from m import *`` and the API docs).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.engine import AnalysisContext, RULES, ModuleInfo, Rule, dotted_chain
+from repro.analysis.findings import Finding
+
+__all__ = ["BankParityRule", "RegistryHygieneRule"]
+
+#: Name of the declaration assignment this rule looks for in conftest.
+DECLARATION_NAME = "BANK_EQUIVALENCE_LAYERS"
+
+
+def _is_abstract_bank_forward(func: ast.FunctionDef) -> bool:
+    """True for the base-class stub: optional docstring + raise NotImplementedError."""
+    body = list(func.body)
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+        body = body[1:]
+    if len(body) != 1 or not isinstance(body[0], ast.Raise):
+        return False
+    exc = body[0].exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    return isinstance(exc, ast.Name) and exc.id == "NotImplementedError"
+
+
+class BankParityRule(Rule):
+    """BANK001: bank_forward definers must match the equivalence declaration."""
+
+    id = "BANK001"
+    summary = "every concrete bank_forward layer must be in the equivalence matrix"
+
+    def check(self, module: ModuleInfo, ctx: AnalysisContext) -> Iterator[Finding]:
+        definers = ctx.rule_state(self.id)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if (
+                    isinstance(item, ast.FunctionDef)
+                    and item.name == "bank_forward"
+                    and not _is_abstract_bank_forward(item)
+                ):
+                    definers.setdefault(
+                        node.name, (module.display, node.lineno, node.col_offset)
+                    )
+        return iter(())
+
+    def finalize(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        definers: dict = ctx.rule_state(self.id)
+        if not definers:
+            return
+        if ctx.conftest_path is None:
+            file, line, col = sorted(definers.values())[0]
+            yield Finding(
+                rule=self.id,
+                message=(
+                    f"bank_forward definers found but no tests/conftest.py with a "
+                    f"{DECLARATION_NAME} declaration was located"
+                ),
+                file=file,
+                line=line,
+                col=col,
+            )
+            return
+
+        declared = self._parse_declaration(ctx.conftest_path)
+        if declared is None:
+            file, line, col = sorted(definers.values())[0]
+            yield Finding(
+                rule=self.id,
+                message=(
+                    f"{ctx.conftest_path} does not declare {DECLARATION_NAME}; "
+                    f"the equivalence matrix cannot be cross-checked"
+                ),
+                file=file,
+                line=line,
+                col=col,
+            )
+            return
+
+        declared_names = {name for name, _ in declared.items()}
+        for class_name in sorted(set(definers) - declared_names):
+            file, line, col = definers[class_name]
+            yield Finding(
+                rule=self.id,
+                message=(
+                    f"class {class_name} defines bank_forward but is missing from "
+                    f"{DECLARATION_NAME} in {ctx.conftest_path}; add it to the "
+                    f"equivalence matrix"
+                ),
+                file=file,
+                line=line,
+                col=col,
+            )
+        for class_name in sorted(declared_names - set(definers)):
+            decl_line = declared[class_name]
+            yield Finding(
+                rule=self.id,
+                message=(
+                    f"{DECLARATION_NAME} declares {class_name} but no class in the "
+                    f"scanned tree defines bank_forward under that name; remove or "
+                    f"rename the stale entry"
+                ),
+                file=str(ctx.conftest_path),
+                line=decl_line,
+                col=0,
+            )
+
+    @staticmethod
+    def _parse_declaration(conftest_path: Path) -> "dict[str, int] | None":
+        """``{class_name: lineno}`` from the conftest declaration, or None."""
+        try:
+            tree = ast.parse(conftest_path.read_text(), filename=str(conftest_path))
+        except (OSError, SyntaxError):
+            return None
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == DECLARATION_NAME for t in node.targets
+            ):
+                continue
+            value = node.value
+            if isinstance(value, ast.Call) and value.args:
+                # frozenset({...}) / frozenset([...])
+                value = value.args[0]
+            if isinstance(value, (ast.Set, ast.List, ast.Tuple)):
+                return {
+                    elt.value: elt.lineno
+                    for elt in value.elts
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                }
+        return None
+
+
+class RegistryHygieneRule(Rule):
+    """API001: unique registry names, truthful ``__all__``."""
+
+    id = "API001"
+    summary = "registry names unique; __all__ entries must exist and not repeat"
+
+    def check(self, module: ModuleInfo, ctx: AnalysisContext) -> Iterator[Finding]:
+        yield from self._check_all_declaration(module)
+        self._collect_registrations(module, ctx)
+
+    def finalize(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        registrations: dict = ctx.rule_state(self.id)
+        for (registry, name), sites in sorted(registrations.items()):
+            if len(sites) < 2:
+                continue
+            for file, line, col in sites[1:]:
+                yield Finding(
+                    rule=self.id,
+                    message=(
+                        f"duplicate registration {name!r} in registry {registry} "
+                        f"(first registered at {sites[0][0]}:{sites[0][1]})"
+                    ),
+                    file=file,
+                    line=line,
+                    col=col,
+                )
+
+    def _collect_registrations(self, module: ModuleInfo, ctx: AnalysisContext) -> None:
+        registrations = ctx.rule_state(self.id)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue
+            chain = dotted_chain(node.func)
+            registry = None
+            if len(chain) >= 2 and chain[-1] == "register" and chain[-2].isupper():
+                registry = chain[-2]
+            elif chain == ("register_model",):
+                registry = "MODELS"
+            if registry is None:
+                continue
+            if any(
+                kw.arg == "overwrite"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            ):
+                continue
+            registrations.setdefault((registry, first.value), []).append(
+                (module.display, node.lineno, node.col_offset)
+            )
+
+    def _check_all_declaration(self, module: ModuleInfo) -> Iterator[Finding]:
+        all_node = None
+        for node in module.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets)
+                and isinstance(node.value, (ast.List, ast.Tuple))
+            ):
+                all_node = node
+        if all_node is None:
+            return
+
+        defined = _top_level_names(module.tree)
+        # A module-level __getattr__ (PEP 562) can lazily provide any name,
+        # so existence checks are unreliable there; duplicates still are not.
+        lazy_provider = "__getattr__" in defined
+        seen: set[str] = set()
+        for elt in all_node.value.elts:
+            if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+                continue
+            name = elt.value
+            if name in seen:
+                yield Finding(
+                    rule=self.id,
+                    message=f"__all__ lists {name!r} more than once",
+                    file=module.display,
+                    line=elt.lineno,
+                    col=elt.col_offset,
+                )
+            seen.add(name)
+            if name not in defined and not lazy_provider:
+                yield Finding(
+                    rule=self.id,
+                    message=(
+                        f"__all__ lists {name!r} but the module defines no such "
+                        f"top-level name"
+                    ),
+                    file=module.display,
+                    line=elt.lineno,
+                    col=elt.col_offset,
+                )
+
+
+def _top_level_names(tree: ast.Module) -> set[str]:
+    """Names importable from the module: top-level defs, assigns, imports.
+
+    Descends into top-level ``if``/``try`` blocks (conditional imports)
+    but not into function or class bodies.
+    """
+    names: set[str] = set()
+
+    def visit(body) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                for item in node.names:
+                    names.add(item.asname or item.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for item in node.names:
+                    if item.name == "*":
+                        continue
+                    names.add(item.asname or item.name)
+            elif isinstance(node, ast.If):
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit(node.body)
+                for handler in node.handlers:
+                    visit(handler.body)
+                visit(node.orelse)
+                visit(node.finalbody)
+
+    visit(tree.body)
+    return names
+
+
+RULES.register(BankParityRule.id, BankParityRule())
+RULES.register(RegistryHygieneRule.id, RegistryHygieneRule())

@@ -1,0 +1,214 @@
+"""Determinism rules: seeded ``Generator`` streams, no wall clocks.
+
+DET001 — the whole reproducibility story (byte-identical backends, golden
+fixtures, content-addressed sweep cells) assumes every random draw comes
+from an explicitly seeded ``numpy.random.Generator`` threaded through
+``repro.utils.seeding.check_random_state``.  Legacy global RNGs
+(``np.random.rand``, the stdlib ``random`` module) and unseeded
+``default_rng()`` calls silently break that; direct *seeded*
+``default_rng(...)`` construction outside the seeding utility bypasses
+the one place allowed to normalize seeds (the ``sweep/spec.py`` sampling
+RNG was built that way before this rule existed).
+
+DET002 — the simulator's clock is virtual (``repro.utils.timer``); any
+wall-clock read inside simulation or hash paths makes trajectories and
+content addresses depend on when they ran, which is exactly the class of
+bug the content-addressed store exists to rule out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.engine import RULES, ModuleInfo, Rule, dotted_chain
+from repro.analysis.findings import Finding
+
+__all__ = ["UnseededRandomnessRule", "WallClockRule"]
+
+#: ``np.random.*`` attributes that are legitimate non-drawing accesses
+#: (classes and seeding plumbing handled separately).
+_NP_RANDOM_ALLOWED = {
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "RandomState",  # flagged only when *called*, allowed in isinstance checks
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: Wall-clock reads flagged by DET002, as trailing segments of a dotted
+#: call chain (so ``datetime.datetime.now()`` matches ``("datetime", "now")``).
+_WALL_CLOCK_TAILS = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+)
+_WALL_CLOCK_BARE = {"time", "time_ns", "monotonic", "perf_counter", "perf_counter_ns"}
+
+
+def _numpy_aliases(tree: ast.Module) -> set[str]:
+    """Names bound to the numpy module in this file (``np``, ``numpy``, ...)."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "numpy":
+                    aliases.add(item.asname or "numpy")
+    return aliases
+
+
+def _stdlib_random_aliases(tree: ast.Module) -> set[str]:
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "random":
+                    aliases.add(item.asname or "random")
+    return aliases
+
+
+class UnseededRandomnessRule(Rule):
+    """DET001: no unseeded or legacy-global randomness in ``src/``."""
+
+    id = "DET001"
+    summary = "randomness must flow through seeded Generators (check_random_state)"
+
+    def check(self, module: ModuleInfo, ctx) -> Iterator[Finding]:
+        np_aliases = _numpy_aliases(module.tree)
+        random_aliases = _stdlib_random_aliases(module.tree)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_from_import(module, node)
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_chain(node.func)
+            if len(chain) >= 3 and chain[0] in np_aliases and chain[1] == "random":
+                yield from self._check_np_random_call(module, node, chain[2])
+            elif len(chain) == 2 and chain[0] in random_aliases:
+                yield self._finding(
+                    module,
+                    node,
+                    f"stdlib random.{chain[1]}() draws from the process-global RNG; "
+                    f"thread a seeded numpy Generator through instead",
+                )
+
+    def _check_from_import(self, module: ModuleInfo, node: ast.ImportFrom) -> Iterator[Finding]:
+        if node.module == "random" and node.level == 0:
+            names = ", ".join(item.name for item in node.names)
+            yield self._finding(
+                module,
+                node,
+                f"importing from the stdlib random module ({names}) pulls in "
+                f"process-global RNG state; use seeded numpy Generators",
+            )
+        elif node.module == "numpy.random" and node.level == 0:
+            for item in node.names:
+                if item.name not in _NP_RANDOM_ALLOWED and item.name != "default_rng":
+                    yield self._finding(
+                        module,
+                        node,
+                        f"numpy.random.{item.name} is the legacy global-state API; "
+                        f"use a seeded Generator from check_random_state",
+                    )
+
+    def _check_np_random_call(
+        self, module: ModuleInfo, node: ast.Call, attr: str
+    ) -> Iterator[Finding]:
+        if attr == "default_rng":
+            if not node.args and not node.keywords:
+                yield self._finding(
+                    module,
+                    node,
+                    "np.random.default_rng() without a seed is nondeterministic; "
+                    "pass a seed or use check_random_state",
+                )
+            else:
+                yield self._finding(
+                    module,
+                    node,
+                    "construct Generators via repro.utils.seeding.check_random_state "
+                    "so seed normalization stays in one place",
+                )
+        elif attr not in _NP_RANDOM_ALLOWED or attr == "RandomState":
+            yield self._finding(
+                module,
+                node,
+                f"np.random.{attr} uses the legacy global (or legacy-seeded) RNG; "
+                f"draw from a seeded Generator instead",
+            )
+
+    def _finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            message=message,
+            file=module.display,
+            line=node.lineno,
+            col=node.col_offset,
+        )
+
+
+class WallClockRule(Rule):
+    """DET002: no wall-clock reads in simulation/hash paths."""
+
+    id = "DET002"
+    summary = "no wall-clock reads in simulation/hash paths (virtual time only)"
+    scope = ("core/", "runtime/", "distributed/", "sweep/store.py", "sweep/spec.py")
+
+    def check(self, module: ModuleInfo, ctx) -> Iterator[Finding]:
+        bare_clock_names = self._bare_clock_imports(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_chain(node.func)
+            if len(chain) >= 2 and chain[-2:] in _as_tails():
+                yield Finding(
+                    rule=self.id,
+                    message=(
+                        f"wall-clock read {'.'.join(chain)}() in a simulation/hash "
+                        f"path; simulated time lives in repro.utils.timer"
+                    ),
+                    file=module.display,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+            elif len(chain) == 1 and chain[0] in bare_clock_names:
+                yield Finding(
+                    rule=self.id,
+                    message=(
+                        f"wall-clock read {chain[0]}() (imported from time) in a "
+                        f"simulation/hash path; simulated time lives in repro.utils.timer"
+                    ),
+                    file=module.display,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+
+    @staticmethod
+    def _bare_clock_imports(tree: ast.Module) -> set[str]:
+        names = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for item in node.names:
+                    if item.name in _WALL_CLOCK_BARE:
+                        names.add(item.asname or item.name)
+        return names
+
+
+def _as_tails() -> Iterable[tuple[str, str]]:
+    return _WALL_CLOCK_TAILS
+
+
+RULES.register(UnseededRandomnessRule.id, UnseededRandomnessRule())
+RULES.register(WallClockRule.id, WallClockRule())

@@ -1,0 +1,168 @@
+"""HASH001: content addresses are computed from canonical JSON only.
+
+The sweep store (``repro.sweep.store``) and result records
+(``repro.utils.results``) identify cells by ``sha256(json.dumps(payload))``
+— the whole resume-and-dedup design collapses if two runs serialize the
+same payload with different key orders.  ``json.dumps`` without
+``sort_keys=True`` is order-of-insertion; a ``dict`` literal refactor or
+a kwargs reordering silently changes every content hash and invalidates
+the store.
+
+The rule fires on:
+
+* ``json.dumps(...)`` lacking ``sort_keys=True`` anywhere inside a
+  ``hashlib.*`` call's arguments (the payload *is* the hash input);
+* any ``json.dumps(...)`` lacking ``sort_keys=True`` in the store/result
+  modules (``sweep/``, ``utils/results.py``), where every serialization
+  either feeds a hash or a golden-compared file;
+* iteration directly over a set literal / ``set(...)`` /
+  set-comprehension in those modules — set order is salted per process,
+  so anything derived from it must go through ``sorted(...)`` first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import RULES, ModuleInfo, Rule, dotted_chain
+from repro.analysis.findings import Finding
+
+__all__ = ["CanonicalHashRule"]
+
+#: Modules where *every* ``json.dumps`` must be canonical.
+_STORE_PATHS = ("sweep/", "utils/results.py")
+
+_HASHLIB_CONSTRUCTORS = {
+    "sha1",
+    "sha224",
+    "sha256",
+    "sha384",
+    "sha512",
+    "sha3_256",
+    "sha3_512",
+    "md5",
+    "blake2b",
+    "blake2s",
+    "new",
+}
+
+
+def _is_json_dumps(node: ast.Call, dumps_aliases: set[str]) -> bool:
+    chain = dotted_chain(node.func)
+    if chain == ("json", "dumps"):
+        return True
+    return len(chain) == 1 and chain[0] in dumps_aliases
+
+
+def _has_sort_keys(node: ast.Call) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "sort_keys":
+            return isinstance(keyword.value, ast.Constant) and keyword.value.value is True
+    return False
+
+
+def _dumps_aliases(tree: ast.Module) -> set[str]:
+    """Names that ``from json import dumps [as d]`` binds in this module."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "json":
+            for item in node.names:
+                if item.name == "dumps":
+                    aliases.add(item.asname or "dumps")
+    return aliases
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = dotted_chain(node.func)
+        return chain == ("set",) or chain == ("frozenset",)
+    return False
+
+
+class CanonicalHashRule(Rule):
+    """HASH001: hash/store serialization must be key-sorted and set-free."""
+
+    id = "HASH001"
+    summary = "hash/store JSON must use sort_keys=True; no raw set iteration"
+
+    def check(self, module: ModuleInfo, ctx) -> Iterator[Finding]:
+        dumps_aliases = _dumps_aliases(module.tree)
+        in_store_path = any(
+            module.relpath == entry or module.relpath.startswith(entry)
+            for entry in _STORE_PATHS
+        )
+        flagged: set[tuple[int, int]] = set()
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                chain = dotted_chain(node.func)
+                if len(chain) == 2 and chain[0] == "hashlib" and chain[1] in _HASHLIB_CONSTRUCTORS:
+                    yield from self._check_hash_input(module, node, dumps_aliases, flagged)
+                elif (
+                    in_store_path
+                    and _is_json_dumps(node, dumps_aliases)
+                    and not _has_sort_keys(node)
+                    and (node.lineno, node.col_offset) not in flagged
+                ):
+                    flagged.add((node.lineno, node.col_offset))
+                    yield self._finding(
+                        module,
+                        node,
+                        "json.dumps in a store/hash module without sort_keys=True; "
+                        "content addresses require canonical key order",
+                    )
+            if in_store_path:
+                yield from self._check_set_iteration(module, node)
+
+    def _check_hash_input(
+        self,
+        module: ModuleInfo,
+        hash_call: ast.Call,
+        dumps_aliases: set[str],
+        flagged: set[tuple[int, int]],
+    ) -> Iterator[Finding]:
+        for arg in list(hash_call.args) + [kw.value for kw in hash_call.keywords]:
+            for sub in ast.walk(arg):
+                if (
+                    isinstance(sub, ast.Call)
+                    and _is_json_dumps(sub, dumps_aliases)
+                    and not _has_sort_keys(sub)
+                    and (sub.lineno, sub.col_offset) not in flagged
+                ):
+                    flagged.add((sub.lineno, sub.col_offset))
+                    yield self._finding(
+                        module,
+                        sub,
+                        "json.dumps feeding a hashlib digest without sort_keys=True; "
+                        "the hash depends on dict insertion order",
+                    )
+
+    def _check_set_iteration(self, module: ModuleInfo, node: ast.AST) -> Iterator[Finding]:
+        iters: list[ast.expr] = []
+        if isinstance(node, ast.For):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for iter_expr in iters:
+            if _is_set_expr(iter_expr):
+                yield self._finding(
+                    module,
+                    iter_expr,
+                    "iterating a set in a store/hash module; set order is salted "
+                    "per process — wrap in sorted(...)",
+                )
+
+    def _finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            message=message,
+            file=module.display,
+            line=node.lineno,
+            col=node.col_offset,
+        )
+
+
+RULES.register(CanonicalHashRule.id, CanonicalHashRule())

@@ -1,0 +1,163 @@
+"""SPAWN001: process-pool entry points must be module-level callables.
+
+The sharded bank workers (``repro.distributed.sharded_bank``) and the
+sweep runner (``repro.sweep.runner``) both use the ``spawn`` start
+method, where the child re-imports the target by qualified name.  A
+lambda, a function defined inside another function, or a name bound to a
+lambda cannot be pickled across that boundary — the failure shows up
+only when the pool actually spins up, usually inside a test that is
+skipped on single-CPU CI runners.  This rule moves the failure to lint
+time.
+
+The check fires on ``Process(target=...)`` construction and on pool
+dispatch methods (``map``, ``imap_unordered``, ``apply_async``, ...):
+the dispatched callable must be a plain module-level name (or a
+``functools.partial`` around one).  Lambdas anywhere in the argument
+list are flagged too — they ride along in the pickled payload.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import RULES, ModuleInfo, Rule, dotted_chain
+from repro.analysis.findings import Finding
+
+__all__ = ["SpawnSafetyRule"]
+
+#: Pool/executor methods whose first positional argument is shipped to
+#: worker processes.
+_POOL_METHODS = {
+    "map",
+    "map_async",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "starmap_async",
+    "apply",
+    "apply_async",
+    "submit",
+}
+
+
+def _collect_function_kinds(tree: ast.Module) -> tuple[set[str], set[str], set[str]]:
+    """Return (module_level, nested, lambda_bound) function names.
+
+    "Module level" includes methods (resolvable by qualified name);
+    "nested" means defined inside another function body and therefore
+    unpicklable under spawn.
+    """
+    module_level: set[str] = set()
+    nested: set[str] = set()
+    lambda_bound: set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                (nested if inside_function else module_level).add(child.name)
+                visit(child, inside_function=True)
+            elif isinstance(child, ast.Assign) and isinstance(child.value, ast.Lambda):
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        lambda_bound.add(target.id)
+                visit(child, inside_function)
+            else:
+                visit(child, inside_function)
+
+    visit(tree, inside_function=False)
+    return module_level, nested, lambda_bound
+
+
+class SpawnSafetyRule(Rule):
+    """SPAWN001: no lambdas/local functions in process-pool payloads."""
+
+    id = "SPAWN001"
+    summary = "process-pool targets must be module-level (spawn-picklable)"
+
+    def check(self, module: ModuleInfo, ctx) -> Iterator[Finding]:
+        module_level, nested, lambda_bound = _collect_function_kinds(module.tree)
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_chain(node.func)
+            if not chain:
+                continue
+            payload_exprs: list[ast.expr] = []
+            if chain[-1] == "Process":
+                for keyword in node.keywords:
+                    if keyword.arg == "target":
+                        payload_exprs.append(keyword.value)
+            elif chain[-1] in _POOL_METHODS and len(chain) >= 2 and node.args:
+                payload_exprs.append(node.args[0])
+            else:
+                continue
+
+            for expr in payload_exprs:
+                yield from self._check_payload(module, expr, module_level, nested, lambda_bound)
+
+            # Lambdas riding along in args/kwargs get pickled with the payload.
+            for arg in list(node.args[1:]) + [kw.value for kw in node.keywords if kw.arg != "target"]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Lambda):
+                        yield self._finding(
+                            module,
+                            sub,
+                            "lambda in a process-pool argument list cannot be "
+                            "pickled under the spawn start method",
+                        )
+
+    def _check_payload(
+        self,
+        module: ModuleInfo,
+        expr: ast.expr,
+        module_level: set[str],
+        nested: set[str],
+        lambda_bound: set[str],
+    ) -> Iterator[Finding]:
+        target = self._unwrap_partial(expr)
+        if isinstance(target, ast.Lambda):
+            yield self._finding(
+                module,
+                target,
+                "lambda as a process target cannot be pickled under spawn; "
+                "define a module-level function",
+            )
+        elif isinstance(target, ast.Name):
+            if target.id in lambda_bound:
+                yield self._finding(
+                    module,
+                    target,
+                    f"process target {target.id!r} is bound to a lambda; "
+                    f"define a module-level function",
+                )
+            elif target.id in nested and target.id not in module_level:
+                yield self._finding(
+                    module,
+                    target,
+                    f"process target {target.id!r} is defined inside another "
+                    f"function and cannot be pickled under spawn; move it to "
+                    f"module level",
+                )
+
+    @staticmethod
+    def _unwrap_partial(expr: ast.expr) -> ast.expr:
+        """``functools.partial(f, ...)`` → ``f`` (partials of picklables pickle)."""
+        if isinstance(expr, ast.Call):
+            chain = dotted_chain(expr.func)
+            if chain and chain[-1] == "partial" and expr.args:
+                return expr.args[0]
+        return expr
+
+    def _finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            message=message,
+            file=module.display,
+            line=node.lineno,
+            col=node.col_offset,
+        )
+
+
+RULES.register(SpawnSafetyRule.id, SpawnSafetyRule())

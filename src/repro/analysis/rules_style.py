@@ -1,0 +1,82 @@
+"""PY001 + PY002: the two foot-guns that have bitten this codebase's kin.
+
+PY001 — a mutable default argument (``def f(x, history=[])``) is shared
+across every call; in a simulator that reuses trainer objects across
+sweep cells, a shared default list is a cross-cell state leak that
+breaks run-to-run determinism in the most confusing way possible.
+
+PY002 — ``except:`` catches ``KeyboardInterrupt`` and ``SystemExit``,
+which is how a hung sweep worker becomes unkillable.  Catch a concrete
+exception type (or at minimum ``Exception``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import RULES, ModuleInfo, Rule, dotted_chain
+from repro.analysis.findings import Finding
+
+__all__ = ["BareExceptRule", "MutableDefaultRule"]
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = dotted_chain(node.func)
+        return bool(chain) and chain[-1] in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    """PY001: no mutable default arguments."""
+
+    id = "PY001"
+    summary = "no mutable default arguments (shared across calls)"
+
+    def check(self, module: ModuleInfo, ctx) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            for default in list(args.defaults) + [d for d in args.kw_defaults if d is not None]:
+                if _is_mutable_default(default):
+                    yield Finding(
+                        rule=self.id,
+                        message=(
+                            "mutable default argument is shared across calls; "
+                            "default to None and construct inside the function"
+                        ),
+                        file=module.display,
+                        line=default.lineno,
+                        col=default.col_offset,
+                    )
+
+
+class BareExceptRule(Rule):
+    """PY002: no bare ``except:`` clauses."""
+
+    id = "PY002"
+    summary = "no bare except: (swallows KeyboardInterrupt/SystemExit)"
+
+    def check(self, module: ModuleInfo, ctx) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield Finding(
+                    rule=self.id,
+                    message=(
+                        "bare except: catches KeyboardInterrupt and SystemExit; "
+                        "name the exception type"
+                    ),
+                    file=module.display,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+
+
+RULES.register(MutableDefaultRule.id, MutableDefaultRule())
+RULES.register(BareExceptRule.id, BareExceptRule())

@@ -23,7 +23,7 @@ Training loop per round:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -36,6 +36,7 @@ from repro.nn.tensor import no_grad
 from repro.optim.lr_schedules import ConstantLR, LRSchedule
 from repro.utils.logging import get_logger
 from repro.utils.results import MetricPoint, RunRecord
+from repro.utils.seeding import check_random_state
 
 __all__ = ["TrainerConfig", "PASGDTrainer"]
 
@@ -130,7 +131,7 @@ class PASGDTrainer:
         self.loss_fn = loss_fn
         self.config = config or TrainerConfig(max_iterations=1000)
         self.name = name or schedule.label
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = check_random_state(rng if rng is not None else 0)
 
     # -- evaluation helpers -------------------------------------------------
     def _subsample(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -14,8 +14,6 @@ averaging step uses (eq. 3).
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
 from repro.data.loader import BatchLoader

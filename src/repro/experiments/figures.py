@@ -18,7 +18,7 @@ import math
 
 import numpy as np
 
-from repro.utils.results import RunRecord, RunStore
+from repro.utils.results import RunRecord
 
 __all__ = [
     "loss_vs_time_series",

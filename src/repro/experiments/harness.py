@@ -132,7 +132,9 @@ def parse_method_spec(spec: "str | MethodSpec", config: ExperimentConfig) -> Met
         kwargs.setdefault("couple_lr", True)
     factory = COMM_SCHEDULES.get(name)  # raises with available names if unknown
 
-    def schedule_fn(factory=factory, kwargs=dict(kwargs)) -> CommunicationSchedule:
+    kwargs_snapshot = dict(kwargs)
+
+    def schedule_fn(factory=factory, kwargs=kwargs_snapshot) -> CommunicationSchedule:
         return factory(**kwargs)
 
     # One throwaway instance gives the canonical label ("sync-sgd",

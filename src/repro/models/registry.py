@@ -18,7 +18,7 @@ import math
 from typing import Callable
 
 from repro.api.registries import MODELS
-from repro.models.cnn import SmallCNN, resnet_lite_cnn, vgg_lite_cnn
+from repro.models.cnn import SmallCNN
 from repro.models.linear import LinearRegressionModel, SoftmaxRegression
 from repro.models.mlp import MLP, resnet_lite_mlp, vgg_lite_mlp
 

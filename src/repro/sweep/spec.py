@@ -36,6 +36,7 @@ from typing import Any, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.experiments.configs import ExperimentConfig
+from repro.utils.seeding import check_random_state
 
 __all__ = ["SweepSpec", "SweepCell", "grid", "paired", "cell_hash", "derive_cell_seed"]
 
@@ -289,7 +290,7 @@ class SweepSpec:
         names = list(self.axes)
         combos = self._combos()
         if self.sample_n is not None and self.sample_n < len(combos):
-            rng = np.random.default_rng(self.sample_seed)
+            rng = check_random_state(self.sample_seed)
             keep = np.sort(rng.choice(len(combos), size=self.sample_n, replace=False))
             combos = [combos[i] for i in keep]
         cells: list[SweepCell] = []

@@ -219,7 +219,7 @@ class ResultStore:
         distinguishes stored results from still-pending addresses, so the
         verb also answers "what is left to run".
         """
-        where = json.loads(json.dumps(dict(where or {})))
+        where = json.loads(json.dumps(dict(where or {}), sort_keys=True))
         campaigns = [campaign] if campaign is not None else self.campaigns()
         hits: list[QueryHit] = []
         for name in campaigns:

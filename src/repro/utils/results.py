@@ -228,7 +228,7 @@ class RunStore:
 
     def save(self, path: str | Path) -> None:
         """Serialize the whole store to a JSON file."""
-        Path(path).write_text(json.dumps(self.to_payload(), indent=2))
+        Path(path).write_text(json.dumps(self.to_payload(), indent=2, sort_keys=True))
 
     @classmethod
     def load(cls, path: str | Path) -> "RunStore":

@@ -31,11 +31,11 @@ def check_random_state(seed: int | np.random.Generator | None) -> np.random.Gene
     numpy.random.Generator
     """
     if seed is None:
-        return np.random.default_rng()
+        return np.random.default_rng()  # repro: ignore[DET001] documented entropy fallback for seed=None
     if isinstance(seed, np.random.Generator):
         return seed
     if isinstance(seed, (int, np.integer)):
-        return np.random.default_rng(int(seed))
+        return np.random.default_rng(int(seed))  # repro: ignore[DET001] this IS the sanctioned construction site
     raise TypeError(f"seed must be None, int, or numpy Generator, got {type(seed)!r}")
 
 
@@ -46,8 +46,8 @@ def set_global_seed(seed: int) -> None:
     call this once at startup so that any incidental use of the global RNG is
     reproducible too.
     """
-    random.seed(seed)
-    np.random.seed(seed % (2**32))
+    random.seed(seed)  # repro: ignore[DET001] global-seed helper for examples/benchmarks by design
+    np.random.seed(seed % (2**32))  # repro: ignore[DET001] global-seed helper for examples/benchmarks by design
 
 
 @dataclass
@@ -80,4 +80,4 @@ class SeedSequence:
 
     def generator(self) -> np.random.Generator:
         """Spawn a child seed and wrap it in a fresh ``Generator``."""
-        return np.random.default_rng(self.spawn())
+        return np.random.default_rng(self.spawn())  # repro: ignore[DET001] seeded from spawn(); sanctioned site

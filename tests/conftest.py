@@ -20,9 +20,12 @@ import pytest
 
 from repro.data.synthetic import make_gaussian_blobs
 from repro.models.mlp import MLP
+from repro.nn.layers import Linear, Module, Sequential, Sigmoid, Tanh
+from repro.nn.losses import bank_cross_entropy, cross_entropy
 from repro.runtime.distributions import ConstantDelay, ExponentialDelay
 from repro.runtime.network import NetworkModel
 from repro.runtime.simulator import RuntimeSimulator
+from repro.utils.seeding import SeedSequence, check_random_state
 
 
 @pytest.fixture
@@ -81,6 +84,38 @@ def stochastic_runtime():
 #: Backends checked against the "loop" reference.
 EQUIVALENCE_BACKENDS = ("vectorized", "sharded")
 
+#: Every class in ``src/`` overriding ``bank_forward`` with a concrete
+#: implementation.  Pinned in two directions: the ``BANK001`` analysis rule
+#: statically cross-checks this set against the classes actually defining
+#: ``bank_forward`` (so a new bank-capable layer cannot ship undeclared), and
+#: ``tests/test_analysis.py`` asserts at runtime that the models built by
+#: ``equivalence_cases()`` instantiate exactly these layers (so a declared
+#: layer cannot silently drop out of the matrix).  Adding a layer means
+#: adding it here AND giving it a workload below.
+BANK_EQUIVALENCE_LAYERS = frozenset(
+    {
+        # repro.nn.layers
+        "BatchNorm1d",
+        "Conv2d",
+        "Dropout",
+        "Flatten",
+        "Linear",
+        "ReLU",
+        "Residual",
+        "Sequential",
+        "Sigmoid",
+        "Tanh",
+        "_Pool2d",  # MaxPool2d / AvgPool2d share its implementation
+        # repro.models.*
+        "LinearRegressionModel",
+        "MLP",
+        "NoisyQuadraticProblem",
+        "ResidualMLP",
+        "SmallCNN",
+        "SoftmaxRegression",
+    }
+)
+
 #: n_features used for data cases; must view as a square image (3 × 2 × 2)
 #: so the CNN registry entries accept it alongside the dense models.
 EQUIVALENCE_FEATURES = 12
@@ -120,6 +155,42 @@ def _registry_model_fn(name: str) -> Callable:
     return lambda: builder(**kwargs)
 
 
+class ActivationZoo(Module):
+    """Tiny classifier routing through Tanh *and* Sigmoid.
+
+    No registry model uses Sigmoid (and only the MLP ``tanh`` variant uses
+    Tanh), so this workload exists purely to keep every activation's
+    ``bank_forward`` pinned by the matrix — see ``BANK_EQUIVALENCE_LAYERS``.
+    """
+
+    def __init__(self, n_features: int, n_classes: int, rng=None):
+        super().__init__()
+        gen = check_random_state(rng)
+        seeds = SeedSequence(int(gen.integers(0, 2**31 - 1)))
+        self.net = Sequential(
+            Linear(n_features, 10, rng=seeds.generator()),
+            Tanh(),
+            Linear(10, 10, rng=seeds.generator()),
+            Sigmoid(),
+            Linear(10, n_classes, rng=seeds.generator()),
+        )
+
+    def forward(self, x):
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.net(x)
+
+    def loss(self, x, y):
+        return cross_entropy(self(x), y)
+
+    def bank_forward(self, x, params, prefix: str = ""):
+        x = self._as_bank_input(x)
+        return self.net.bank_forward(x, params, f"{prefix}net.")
+
+    def bank_loss(self, x, y, params):
+        return bank_cross_entropy(self.bank_forward(x, params), y)
+
+
 def _quadratic_model_fn() -> Callable:
     from repro.models.quadratic import NoisyQuadraticProblem, QuadraticObjective
 
@@ -149,6 +220,12 @@ def equivalence_cases() -> list[EquivalenceCase]:
             id="mlp+plain_sgd",
             model_fn=_registry_model_fn("mlp"),
             momentum=0.0,
+        )
+    )
+    cases.append(
+        EquivalenceCase(
+            id="activation_zoo",
+            model_fn=lambda: ActivationZoo(EQUIVALENCE_FEATURES, _EQ_CLASSES, rng=7),
         )
     )
     cases.append(

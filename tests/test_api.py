@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.api import DELAYS, MODELS, Experiment, Registry, all_registries, filter_kwargs
+from repro.api import MODELS, Experiment, Registry, all_registries, filter_kwargs
 from repro.experiments.cli import build_parser, main
 from repro.experiments.configs import (
     ExperimentConfig,

@@ -7,7 +7,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.experiments.configs import ExperimentConfig, available_configs, make_config
+from repro.experiments.configs import available_configs, make_config
 from repro.experiments.figures import (
     comm_comp_breakdown,
     loss_vs_time_series,

@@ -22,8 +22,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.adacomm import AdaCommConfig
-from repro.core.schedules import AdaCommSchedule, FixedCommunicationSchedule
+from repro.core.schedules import FixedCommunicationSchedule
 from repro.core.trainer import PASGDTrainer, TrainerConfig
 from repro.distributed.cluster import SimulatedCluster
 from repro.models.quadratic import NoisyQuadraticProblem, QuadraticObjective

@@ -13,7 +13,6 @@ from repro.nn.layers import (
     Flatten,
     Linear,
     MaxPool2d,
-    Module,
     ReLU,
     Residual,
     Sequential,
