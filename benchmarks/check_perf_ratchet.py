@@ -1,0 +1,89 @@
+"""CI perf ratchet: compare fresh speedup ratios against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_perf_ratchet.py BENCH_backend.json BENCH_fresh.json [more_fresh.json ...]
+
+Every row of the committed ``BENCH_backend.json`` must be reproduced within a
+generous tolerance: the fresh ``speedup`` and ``sharded_speedup`` ratios may
+not fall more than 30% below the committed ones.  Ratios — not absolute
+seconds — are compared, so the check is robust to slow or fast runners; the
+tolerance absorbs ordinary scheduler noise, so only a backend that genuinely
+lost its advantage fails.  When several fresh files are given, each row takes
+its best ratio across them — the CI job re-runs the benchmark once before
+failing, so a single noisy sample on a loaded runner cannot fail the build,
+while a real regression reproduces in both runs and still does.
+
+Exit status 0 when every row holds, 1 with a per-row report otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Fail only on a >30% regression of any speedup ratio.
+TOLERANCE = 0.30
+
+#: The ratio fields of each benchmark row that ratchet forward PR by PR.
+RATIO_FIELDS = ("speedup", "sharded_speedup")
+
+
+def merge_best(fresh_payloads: "list[dict]") -> dict:
+    """Best ratio per (model, n_workers, field) across the fresh runs."""
+    best: dict = {}
+    for payload in fresh_payloads:
+        for row in payload["results"]:
+            key = (row["model"], row["n_workers"])
+            entry = best.setdefault(key, {})
+            for field in RATIO_FIELDS:
+                entry[field] = max(entry.get(field, float("-inf")), row[field])
+    return best
+
+
+def regressions(baseline: dict, fresh_payloads: "list[dict]") -> "list[str]":
+    """Report lines for every baseline row; returns the failing subset."""
+    best = merge_best(fresh_payloads)
+    failures: list[str] = []
+    for row in baseline["results"]:
+        key = (row["model"], row["n_workers"])
+        got = best.get(key)
+        if got is None:
+            failures.append(f"benchmark dropped the {key} row")
+            print(f"MISSING {key[0]} m={key[1]}")
+            continue
+        for field in RATIO_FIELDS:
+            floor = row[field] * (1 - TOLERANCE)
+            ok = got[field] >= floor
+            print(
+                f"{'ok ' if ok else 'REGRESSION'} {key[0]} m={key[1]} {field}: "
+                f"committed {row[field]:.2f}x, fresh {got[field]:.2f}x, "
+                f"floor {floor:.2f}x"
+            )
+            if not ok:
+                failures.append(
+                    f"{key[0]} m={key[1]} {field} regressed beyond "
+                    f"{TOLERANCE:.0%}: {row[field]:.2f}x -> {got[field]:.2f}x"
+                )
+    return failures
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    baseline = json.load(open(argv[0]))
+    fresh_payloads = [json.load(open(path)) for path in argv[1:]]
+    failures = regressions(baseline, fresh_payloads)
+    if failures:
+        print(f"\n{len(failures)} speedup regression(s) beyond {TOLERANCE:.0%}:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print(f"\nall {len(baseline['results'])} rows within {TOLERANCE:.0%} of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

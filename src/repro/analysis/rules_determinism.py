@@ -164,7 +164,7 @@ class WallClockRule(Rule):
 
     id = "DET002"
     summary = "no wall-clock reads in simulation/hash paths (virtual time only)"
-    scope = ("core/", "runtime/", "distributed/", "sweep/store.py", "sweep/spec.py")
+    scope = ("core/", "runtime/", "distributed/", "sweep/store.py", "sweep/spec.py", "utils/")
 
     def check(self, module: ModuleInfo, ctx) -> Iterator[Finding]:
         bare_clock_names = self._bare_clock_imports(module.tree)

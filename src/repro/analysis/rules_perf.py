@@ -1,0 +1,94 @@
+"""PERF001: no per-call float64 coercions in bank hot paths.
+
+The vectorized backends earn their speedup by keeping every per-step
+operation allocation-free: im2col index maps are cached, the optimizer
+updates preallocated buffers in place, and the bank owns its storage
+dtype (``bank_dtype``).  A ``np.asarray(x, dtype=float)`` inside a
+``bank_forward`` or ``step`` body silently undoes that — it forces a
+full float64 copy of an ``(m, ...)`` stacked array on *every* call, and
+it re-widens float32 banks back to float64 mid-trajectory.  Dtype
+coercion belongs at construction and API boundaries (where the existing
+``asarray`` calls live), never in the per-step path.
+
+The rule is purely syntactic on purpose: it flags ``np.asarray`` /
+``np.array`` calls with an explicit ``dtype=float`` / ``dtype=np.float64``
+keyword lexically inside a function named ``bank_forward`` or ``step``.
+A coercion that is genuinely needed there (none today) can carry a
+``# repro: ignore[PERF001]`` suppression with a comment saying why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import AnalysisContext, RULES, ModuleInfo, Rule, dotted_chain
+from repro.analysis.findings import Finding
+
+__all__ = ["HotPathCoercionRule"]
+
+#: Function names treated as per-step hot paths.
+_HOT_PATH_NAMES = ("bank_forward", "step")
+
+#: numpy constructors whose ``dtype=`` keyword forces a copy/cast.
+_COERCING_CALLS = ("asarray", "array", "ascontiguousarray")
+
+
+def _numpy_aliases(tree: ast.Module) -> set[str]:
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "numpy":
+                    aliases.add(item.asname or "numpy")
+    return aliases
+
+
+def _is_float64_dtype(value: ast.AST, np_aliases: set[str]) -> bool:
+    """True for ``dtype=float`` (the builtin) and ``dtype=np.float64``."""
+    if isinstance(value, ast.Name) and value.id == "float":
+        return True
+    chain = dotted_chain(value)
+    return len(chain) == 2 and chain[0] in np_aliases and chain[1] == "float64"
+
+
+class HotPathCoercionRule(Rule):
+    """PERF001: bank_forward/step must not re-cast arrays to float64 per call."""
+
+    id = "PERF001"
+    summary = "no np.asarray(..., dtype=float) coercions inside bank_forward/step"
+
+    def check(self, module: ModuleInfo, ctx: AnalysisContext) -> Iterator[Finding]:
+        np_aliases = _numpy_aliases(module.tree)
+        if not np_aliases:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.FunctionDef) or node.name not in _HOT_PATH_NAMES:
+                continue
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                chain = dotted_chain(call.func)
+                if not (
+                    len(chain) == 2
+                    and chain[0] in np_aliases
+                    and chain[1] in _COERCING_CALLS
+                ):
+                    continue
+                for kw in call.keywords:
+                    if kw.arg == "dtype" and _is_float64_dtype(kw.value, np_aliases):
+                        yield Finding(
+                            rule=self.id,
+                            message=(
+                                f"np.{chain[1]}(..., dtype=float) inside hot path "
+                                f"{node.name}() forces a float64 copy every call and "
+                                f"overrides the bank's storage dtype; coerce once at "
+                                f"construction instead"
+                            ),
+                            file=module.display,
+                            line=call.lineno,
+                            col=call.col_offset,
+                        )
+
+
+RULES.register(HotPathCoercionRule.id, HotPathCoercionRule())

@@ -107,6 +107,11 @@ class Experiment:
         """Set the sharded backend's process count (``backend_shards``)."""
         return self.set(backend_shards=int(n))
 
+    def dtype(self, name: str) -> "Experiment":
+        """Set the bank storage dtype: "float64" (byte-identical default) or
+        "float32" (opt-in reduced precision, parity within tolerance)."""
+        return self.set(bank_dtype=str(name))
+
     def methods(self, *specs: str) -> "Experiment":
         """Set the method lineup from spec strings (see ``parse_method_spec``).
 

@@ -58,6 +58,11 @@ class BankLoader:
     rngs:
         One RNG (or seed) per worker, consumed identically to handing each
         worker its own ``BatchLoader``.
+    dtype:
+        Optional dtype the stacked design matrix is stored (and therefore
+        sampled) in — the entry point of the opt-in ``float32`` bank mode.
+        ``None`` keeps the dataset's own dtype (the byte-identical default).
+        Targets are never cast; class labels stay integral.
     """
 
     def __init__(
@@ -65,6 +70,7 @@ class BankLoader:
         shards: Sequence[Dataset],
         batch_size: int,
         rngs: Sequence | None = None,
+        dtype=None,
     ):
         if not shards:
             raise ValueError("BankLoader needs at least one shard")
@@ -81,6 +87,8 @@ class BankLoader:
         self.n_workers = len(shards)
         # One concatenated design matrix so every round is a single gather.
         self._X = np.concatenate([shard.X for shard in shards], axis=0)
+        if dtype is not None:
+            self._X = self._X.astype(dtype, copy=False)
         self._y = np.concatenate([shard.y for shard in shards], axis=0)
         self._offsets = np.cumsum([0] + [len(shard) for shard in shards])[:-1]
 

@@ -16,6 +16,7 @@ from repro.distributed.averaging import average_states, weighted_average_states
 from repro.distributed.backends import BackendUnsupported, LoopWorkers, WorkerBackend
 from repro.distributed.worker_bank import BankWorkerView, WorkerBank
 from repro.distributed.sharded_bank import ShardedBank, ShardWorkerView, shard_slices
+from repro.distributed.reuse import BackendHandle, resolve_backend
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.events import CommunicationEvent, LocalPeriodEvent, EventLog
 from repro.distributed.topology import (
@@ -41,6 +42,8 @@ __all__ = [
     "ShardedBank",
     "ShardWorkerView",
     "shard_slices",
+    "BackendHandle",
+    "resolve_backend",
     "SimulatedCluster",
     "CommunicationEvent",
     "LocalPeriodEvent",

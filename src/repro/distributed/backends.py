@@ -158,7 +158,12 @@ class LoopWorkers(WorkerBackend):
         weight_decay: float = 0.0,
         rngs: Sequence | None = None,
         first_model: Module | None = None,
+        bank_dtype: str = "float64",
     ):
+        # The loop backend is the float64 reference implementation; the
+        # reduced-precision knob only changes bank storage, so it is accepted
+        # (every backend shares one construction signature) and ignored.
+        del bank_dtype
         if not shards:
             raise ValueError("need at least one shard (use [None, ...] for data-free runs)")
         if rngs is None:

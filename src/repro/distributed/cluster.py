@@ -24,17 +24,17 @@ from typing import Callable
 
 import numpy as np
 
-from repro.api.registries import BACKENDS
 from repro.data.partition import PartitionedDataset, partition_dataset
 from repro.data.synthetic import Dataset
 from repro.distributed.averaging import weighted_average_states
-from repro.distributed.backends import BackendUnsupported, WorkerBackend
+from repro.distributed.backends import WorkerBackend
 from repro.distributed.events import CommunicationEvent, EventLog, LocalPeriodEvent
+from repro.distributed.reuse import BackendHandle, resolve_backend
 from repro.nn.layers import Module
 from repro.optim.block_momentum import BlockMomentum
 from repro.runtime.simulator import RuntimeSimulator
 from repro.utils.seeding import SeedSequence
-from repro.utils.timer import VirtualClock
+from repro.utils.timer import VirtualClock, profiled
 
 __all__ = ["SimulatedCluster"]
 
@@ -69,7 +69,11 @@ class SimulatedCluster:
         ``auto_shard_threshold`` workers, else vectorized whenever the model
         supports it — all built-in models do — else loop).  All backends
         consume the same RNG streams, so seeded runs produce byte-identical
-        trajectories on any of them.
+        trajectories on any of them.  Alternatively a
+        :class:`~repro.distributed.reuse.BackendHandle`, which resolves the
+        backend through a reusable slot so a sharded pool survives across
+        cluster lifetimes (the handle then owns the pool — ``close()`` here
+        leaves it alive).
     n_shards:
         Process count for the sharded backend (clamped to ``n_workers``);
         ignored by the in-process backends.
@@ -78,6 +82,12 @@ class SimulatedCluster:
         single-process bank to the sharded pool; ``None`` disables the
         escalation.  Because the backends are byte-identical, the threshold
         changes the process layout, never the trajectory.
+    bank_dtype:
+        Storage dtype of the bank backends (``"float64"``, the
+        byte-identical default, or ``"float32"``, the opt-in
+        reduced-precision mode — half the memory traffic, parity within
+        tolerance rather than byte-equality).  The loop backend is the
+        float64 reference and ignores this knob.
     weighting:
         How the averaging collective weights worker states: ``"uniform"``
         (the paper's setting, eq. 3) or ``"shard_size"`` — FedAvg-style
@@ -99,10 +109,11 @@ class SimulatedCluster:
         block_momentum: BlockMomentum | None = None,
         partition_strategy: str = "iid",
         seed: int = 0,
-        backend: str = "loop",
+        backend: "str | BackendHandle" = "loop",
         weighting: str = "uniform",
         n_shards: int = 2,
         auto_shard_threshold: "int | None" = None,
+        bank_dtype: str = "float64",
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -140,10 +151,7 @@ class SimulatedCluster:
         # Per-worker RNG streams, spawned in worker order (identical
         # consumption of the seed sequence on every backend).
         worker_rngs = [self._seeds.generator() for _ in range(n_workers)]
-        self.backend_name, self._backend = self._resolve_backend(
-            backend,
-            n_shards=n_shards,
-            auto_shard_threshold=auto_shard_threshold,
+        build_kwargs = dict(
             model_fn=model_fn,
             shards=shards,
             batch_size=batch_size,
@@ -151,7 +159,21 @@ class SimulatedCluster:
             momentum=momentum,
             weight_decay=weight_decay,
             rngs=worker_rngs,
+            bank_dtype=bank_dtype,
         )
+        if isinstance(backend, BackendHandle):
+            # A handle-owned backend outlives this cluster (pool reuse across
+            # runs); the handle closes it, cluster.close() must not.
+            self._owns_backend = False
+            self.backend_name, self._backend = backend.acquire(**build_kwargs)
+        else:
+            self._owns_backend = True
+            self.backend_name, self._backend = self._resolve_backend(
+                backend,
+                n_shards=n_shards,
+                auto_shard_threshold=auto_shard_threshold,
+                **build_kwargs,
+            )
 
         self.weighting = weighting
         self._average_weights: list[int] | None = None
@@ -179,33 +201,13 @@ class SimulatedCluster:
     ) -> tuple[str, WorkerBackend]:
         """Build the execution backend; ``"auto"`` escalates and falls back.
 
-        ``"auto"`` picks the sharded pool at or above ``auto_shard_threshold``
-        workers, the vectorized bank otherwise, and the loop for models
-        without a bank path.  Both bank backends raise
-        :class:`BackendUnsupported` before consuming any RNG stream, and the
-        probe replica built to decide compatibility is reused down the
-        fallback chain, so every resolution consumes ``model_fn`` and the
-        RNG streams exactly as a direct run of the chosen backend would.
+        Delegates to :func:`repro.distributed.reuse.resolve_backend` (the
+        single home of the escalation/fallback chain, shared with
+        :class:`~repro.distributed.reuse.BackendHandle`).
         """
-        if spec == "sharded":
-            return "sharded", BACKENDS.build("sharded", n_shards=n_shards, **kwargs)
-        if spec == "auto":
-            template = kwargs["model_fn"]()
-            if (
-                auto_shard_threshold is not None
-                and len(kwargs["shards"]) >= auto_shard_threshold
-            ):
-                try:
-                    return "sharded", BACKENDS.build(
-                        "sharded", template=template, n_shards=n_shards, **kwargs
-                    )
-                except BackendUnsupported:
-                    pass
-            try:
-                return "vectorized", BACKENDS.build("vectorized", template=template, **kwargs)
-            except BackendUnsupported:
-                return "loop", BACKENDS.build("loop", first_model=template, **kwargs)
-        return spec, BACKENDS.build(spec, **kwargs)
+        return resolve_backend(
+            spec, n_shards=n_shards, auto_shard_threshold=auto_shard_threshold, **kwargs
+        )
 
     @property
     def workers(self):
@@ -222,9 +224,12 @@ class SimulatedCluster:
 
         Idempotent and a no-op for in-process backends; the experiment
         harness calls it after every run, and ``with SimulatedCluster(...)``
-        does so on exit.
+        does so on exit.  A backend acquired through a
+        :class:`~repro.distributed.reuse.BackendHandle` is owned by the
+        handle — it stays alive here so the next run can reuse its pool.
         """
-        self._backend.close()
+        if self._owns_backend:
+            self._backend.close()
 
     def __enter__(self) -> "SimulatedCluster":
         return self
@@ -242,7 +247,8 @@ class SimulatedCluster:
         if tau < 1:
             raise ValueError(f"tau must be >= 1, got {tau}")
         start = self.clock.now
-        losses = self._backend.local_period(tau)
+        with profiled("cluster.local_period"):
+            losses = self._backend.local_period(tau)
         timing = self.runtime.sample_local_period(tau)
         self.clock.advance(timing.compute_time)
         self.total_local_iterations += tau
@@ -278,16 +284,17 @@ class SimulatedCluster:
         synchronized flat parameter vector.
         """
         start = self.clock.now
-        states = self._backend.get_stacked_states()
-        averaged = self._average(states)
-        if self.block_momentum is not None:
-            averaged = self.block_momentum.apply(
-                self._synchronized_params, averaged, self.current_lr
-            )
-        self._backend.broadcast_state(averaged)
-        if self.block_momentum is not None:
-            self._backend.reset_momentum()
-        self._synchronized_params = averaged.copy()
+        with profiled("cluster.average"):
+            states = self._backend.get_stacked_states()
+            averaged = self._average(states)
+            if self.block_momentum is not None:
+                averaged = self.block_momentum.apply(
+                    self._synchronized_params, averaged, self.current_lr
+                )
+            self._backend.broadcast_state(averaged)
+            if self.block_momentum is not None:
+                self._backend.reset_momentum()
+            self._synchronized_params = averaged.copy()
 
         duration = self.runtime.sample_communication()
         self.clock.advance(duration)

@@ -1,0 +1,155 @@
+"""Backend reuse: keep a sharded process pool alive across runs.
+
+Spawning the sharded backend's pool is the dominant fixed cost of a short
+run: each shard process is a fresh interpreter that must import NumPy and
+the ``repro`` package before it can serve a single command.  A method
+lineup (``run_experiment`` over four methods) or a serial sweep pays that
+cost once per run even though every run wants an identically-shaped pool.
+
+:class:`BackendHandle` turns the pool into a reusable resource.  A run
+resolves its execution backend *through* a handle instead of building one
+directly; whenever two consecutive runs resolve to sharded pools with the
+same process count, the second run reuses the first's live processes via
+:meth:`~repro.distributed.sharded_bank.ShardedBank.rebuild` — each shard
+swaps in a bank built from a fresh payload, so the trajectory is
+byte-identical to a fresh-pool run and only the spawn is skipped.
+
+Ownership is explicit: a :class:`~repro.distributed.cluster.SimulatedCluster`
+given a handle never closes the backend it received — the handle owns the
+pool and releases it in :meth:`BackendHandle.close` (the harness does this
+in a ``finally``, mirroring the old per-run close).
+"""
+
+from __future__ import annotations
+
+from repro.api.registries import BACKENDS
+from repro.distributed.backends import BackendUnsupported, WorkerBackend
+from repro.distributed.sharded_bank import ShardedBank, shard_slices
+
+__all__ = ["BackendHandle", "resolve_backend"]
+
+
+def resolve_backend(
+    spec: str,
+    *,
+    n_shards: int = 2,
+    auto_shard_threshold: "int | None" = None,
+    handle: "BackendHandle | None" = None,
+    **kwargs,
+) -> tuple[str, WorkerBackend]:
+    """Build the execution backend; ``"auto"`` escalates and falls back.
+
+    ``"auto"`` picks the sharded pool at or above ``auto_shard_threshold``
+    workers, the vectorized bank otherwise, and the loop for models without
+    a bank path.  Both bank backends raise :class:`BackendUnsupported`
+    before consuming any RNG stream, and the probe replica built to decide
+    compatibility is reused down the fallback chain, so every resolution
+    consumes ``model_fn`` and the RNG streams exactly as a direct run of the
+    chosen backend would.  When a ``handle`` is given, sharded resolutions
+    route through it so a live pool of the right size is rebuilt in place
+    instead of respawned.
+    """
+
+    def sharded(**kw) -> ShardedBank:
+        if handle is not None:
+            return handle._sharded(n_shards=n_shards, **kw)
+        return BACKENDS.build("sharded", n_shards=n_shards, **kw)
+
+    if spec == "sharded":
+        return "sharded", sharded(**kwargs)
+    if spec == "auto":
+        template = kwargs["model_fn"]()
+        if (
+            auto_shard_threshold is not None
+            and len(kwargs["shards"]) >= auto_shard_threshold
+        ):
+            try:
+                return "sharded", sharded(template=template, **kwargs)
+            except BackendUnsupported:
+                pass
+        try:
+            return "vectorized", BACKENDS.build("vectorized", template=template, **kwargs)
+        except BackendUnsupported:
+            return "loop", BACKENDS.build("loop", first_model=template, **kwargs)
+    return spec, BACKENDS.build(spec, **kwargs)
+
+
+class BackendHandle:
+    """A slot that carries a live sharded pool from one run to the next.
+
+    Parameters mirror the cluster's backend selection: ``spec`` is the
+    backend name (``"loop"``, ``"vectorized"``, ``"sharded"``, ``"auto"``),
+    ``n_shards`` the pool size for sharded resolutions, and
+    ``auto_shard_threshold`` the ``"auto"`` escalation point.  The handle is
+    also a context manager; exiting closes whatever pool it still holds.
+
+    In-process backends (loop, vectorized) hold no pooled resources, so the
+    handle simply builds them fresh each time — reuse only changes process
+    lifecycle for sharded resolutions, never arithmetic or RNG consumption.
+    """
+
+    def __init__(
+        self,
+        spec: str = "auto",
+        *,
+        n_shards: int = 2,
+        auto_shard_threshold: "int | None" = None,
+    ):
+        self.spec = spec
+        self.n_shards = n_shards
+        self.auto_shard_threshold = auto_shard_threshold
+        self._pool: "ShardedBank | None" = None
+
+    def acquire(self, **kwargs) -> tuple[str, WorkerBackend]:
+        """Resolve one run's backend, reusing the held pool when possible.
+
+        ``kwargs`` are the per-run construction arguments (``model_fn``,
+        ``shards``, ``batch_size``, ``lr``, ``momentum``, ``weight_decay``,
+        ``rngs``, ``bank_dtype``).  Returns ``(backend_name, backend)``
+        exactly like a direct resolution would.
+        """
+        return resolve_backend(
+            self.spec,
+            n_shards=self.n_shards,
+            auto_shard_threshold=self.auto_shard_threshold,
+            handle=self,
+            **kwargs,
+        )
+
+    def _sharded(self, *, n_shards: int, **kwargs) -> ShardedBank:
+        """Rebuild the held pool in place, or retire it and build a fresh one."""
+        pool = self._pool
+        if pool is not None and not pool._closed:
+            shards = kwargs["shards"]
+            if shards and len(shard_slices(len(shards), n_shards)) == pool.pool_size:
+                try:
+                    return pool.rebuild(n_shards=n_shards, **kwargs)
+                except (RuntimeError, OSError):
+                    # A dead or desynchronized pool (e.g. a shard process
+                    # killed by a previous failed run) is not worth saving —
+                    # retire it and spawn a fresh one below.  Setup errors
+                    # (BackendUnsupported, ValueError) propagate: the pool is
+                    # still healthy and the caller's fallback chain decides.
+                    pass
+            # Wrong process count for the next run, or the rebuild failed —
+            # a pool cannot grow, shrink, or heal, so release it.
+            pool.close()
+            self._pool = None
+        self._pool = BACKENDS.build("sharded", n_shards=n_shards, **kwargs)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the held pool, if any.  Idempotent."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "BackendHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        held = "live pool" if self._pool is not None and not self._pool._closed else "empty"
+        return f"BackendHandle(spec={self.spec!r}, n_shards={self.n_shards}, {held})"

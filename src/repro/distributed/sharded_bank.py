@@ -56,8 +56,16 @@ from repro.distributed.backends import BackendUnsupported, WorkerBackend
 from repro.nn.bank import attach_bank_streams, bank_compatible
 from repro.nn.layers import Module
 from repro.utils.seeding import check_random_state
+from repro.utils.timer import profiled
 
 __all__ = ["ShardedBank", "ShardWorkerView", "shard_slices"]
+
+#: Commands whose ``("ok", None)`` acks the parent never inspects.  They are
+#: sent fire-and-forget: the ack stays queued in the pipe and the *next*
+#: command drains it, saving one blocking round-trip per training round
+#: (broadcast ends every averaging step; its ack overlaps the next
+#: ``local_period`` instead of stalling the parent).
+_DEFERRED_ACK_OPS = frozenset({"broadcast", "set_lr", "reset_momentum"})
 
 
 def shard_slices(n_workers: int, n_shards: int) -> list[tuple[int, int]]:
@@ -105,6 +113,7 @@ class _ShardServer:
             rngs=payload["loader_rngs"],
             template=payload["template"],
             stream_rngs=payload["stream_rngs"],
+            bank_dtype=payload.get("bank_dtype", "float64"),
         )
 
     def execute(self, op: str, args: tuple):
@@ -127,6 +136,11 @@ class _ShardServer:
             return bank.reset_momentum()
         if op == "rng_fingerprint":
             return bank.rng_fingerprint()
+        if op == "rebuild":
+            # Replace the shard-local bank with one built from a fresh
+            # payload — the pool (this process) stays alive across methods.
+            self.__init__(args[0])
+            return None
         raise ValueError(f"unknown shard command {op!r}")
 
 
@@ -221,7 +235,91 @@ class ShardedBank(WorkerBackend):
         template: Module | None = None,
         n_shards: int = 2,
         mp_context: str = "spawn",
+        bank_dtype: str = "float64",
     ):
+        payloads = self._prepare(
+            model_fn,
+            shards,
+            batch_size=batch_size,
+            lr=lr,
+            momentum=momentum,
+            weight_decay=weight_decay,
+            rngs=rngs,
+            template=template,
+            n_shards=n_shards,
+            bank_dtype=bank_dtype,
+        )
+
+        self._conns, self._procs = [], []
+        self._servers: "list[_ShardServer] | None" = None
+        self._closed = False
+        #: Fire-and-forget commands whose acks are still queued in the pipes
+        #: (one per connection each), drained by the next synchronizing
+        #: command in FIFO order.  See :data:`_DEFERRED_ACK_OPS`.
+        self._deferred: list[str] = []
+        #: Whether the shards run on a real process pool.  Daemonic parents
+        #: (e.g. the sweep runner's multiprocessing.Pool workers) may not
+        #: spawn children, so there the same shard servers run in-process —
+        #: identical partition and arithmetic, so a cell's stored bytes do
+        #: not depend on whether the sweep ran serially or on a pool.
+        self.pooled = not multiprocessing.current_process().daemon
+        if not self.pooled:
+            # Each server must own an isolated template + generators — the
+            # pickle round-trip mirrors exactly what crossing a process
+            # boundary does for the pooled path (shard banks attach their
+            # stream slices to *their* template, never to a shared one).
+            self._servers = [
+                _ShardServer(pickle.loads(pickle.dumps(payload))) for payload in payloads
+            ]
+            return
+
+        ctx = multiprocessing.get_context(mp_context)
+        try:
+            for payload in payloads:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_main, args=(child_conn, payload), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+            for index, conn in enumerate(self._conns):
+                status, detail = conn.recv()
+                if status != "ready":
+                    raise RuntimeError(
+                        f"shard process {index} failed to construct its bank:\n{detail}"
+                    )
+        except BaseException:
+            self.close()
+            raise
+
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pool, list(self._conns), list(self._procs)
+        )
+
+    def _prepare(
+        self,
+        model_fn: Callable[[], Module],
+        shards: Sequence[Dataset | None],
+        *,
+        batch_size: int,
+        lr: float,
+        momentum: float,
+        weight_decay: float,
+        rngs: Sequence | None,
+        template: Module | None,
+        n_shards: int,
+        bank_dtype: str,
+    ) -> list[dict]:
+        """Validate the setup, set all backend state, return shard payloads.
+
+        Shared by construction and :meth:`rebuild`: everything except the
+        pool itself — validation, RNG/stream consumption, the shard
+        partition, per-shard payload dicts, and this object's bookkeeping —
+        happens here, so a rebuilt backend is state-identical to a freshly
+        constructed one.
+        """
         if not shards:
             raise ValueError("need at least one shard (use [None, ...] for data-free runs)")
         if n_shards < 1:
@@ -298,92 +396,168 @@ class ShardedBank(WorkerBackend):
                     if stream_mods
                     else None
                 ),
+                "bank_dtype": bank_dtype,
             })
 
-        self._conns, self._procs = [], []
-        self._servers: "list[_ShardServer] | None" = None
-        self._closed = False
-        #: Whether the shards run on a real process pool.  Daemonic parents
-        #: (e.g. the sweep runner's multiprocessing.Pool workers) may not
-        #: spawn children, so there the same shard servers run in-process —
-        #: identical partition and arithmetic, so a cell's stored bytes do
-        #: not depend on whether the sweep ran serially or on a pool.
-        self.pooled = not multiprocessing.current_process().daemon
-        if not self.pooled:
-            # Each server must own an isolated template + generators — the
-            # pickle round-trip mirrors exactly what crossing a process
-            # boundary does for the pooled path (shard banks attach their
-            # stream slices to *their* template, never to a shared one).
+        self.workers = tuple(ShardWorkerView(self, i) for i in range(m))
+        return payloads
+
+    def rebuild(
+        self,
+        model_fn: Callable[[], Module],
+        shards: Sequence[Dataset | None],
+        *,
+        batch_size: int = 32,
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        rngs: Sequence | None = None,
+        template: Module | None = None,
+        n_shards: int = 2,
+        bank_dtype: str = "float64",
+    ) -> "ShardedBank":
+        """Reuse the live pool for a fresh run instead of respawning it.
+
+        Re-runs the full construction-time preparation (validation, RNG and
+        stream consumption, the shard partition, payloads) and ships each
+        live shard a ``rebuild`` command that swaps in a bank built from its
+        new payload.  The resulting backend is state-identical to a freshly
+        constructed one — process spawn is the only thing skipped — so
+        trajectories stay byte-identical to fresh-pool runs.  The worker
+        count may change between runs; the shard *count* must match the live
+        pool (a pool cannot grow or shrink processes).
+        """
+        self._ensure_open()
+        if not shards:
+            raise ValueError("need at least one shard (use [None, ...] for data-free runs)")
+        live = self.pool_size
+        requested = len(shard_slices(len(shards), n_shards))
+        if requested != live:
+            raise ValueError(
+                f"cannot rebuild a {live}-process pool into {requested} shard(s); "
+                f"construct a fresh ShardedBank instead"
+            )
+        payloads = self._prepare(
+            model_fn,
+            shards,
+            batch_size=batch_size,
+            lr=lr,
+            momentum=momentum,
+            weight_decay=weight_decay,
+            rngs=rngs,
+            template=template,
+            n_shards=n_shards,
+            bank_dtype=bank_dtype,
+        )
+        if self._servers is not None:
+            # In-process transport: same pickle round-trip a real process
+            # boundary would apply, same isolation guarantees.
             self._servers = [
                 _ShardServer(pickle.loads(pickle.dumps(payload))) for payload in payloads
             ]
-            self.workers = tuple(ShardWorkerView(self, i) for i in range(m))
-            return
-
-        ctx = multiprocessing.get_context(mp_context)
-        try:
-            for payload in payloads:
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_shard_main, args=(child_conn, payload), daemon=True
-                )
-                proc.start()
-                child_conn.close()
-                self._conns.append(parent_conn)
-                self._procs.append(proc)
-            for index, conn in enumerate(self._conns):
-                status, detail = conn.recv()
-                if status != "ready":
-                    raise RuntimeError(
-                        f"shard process {index} failed to construct its bank:\n{detail}"
-                    )
-        except BaseException:
-            self.close()
-            raise
-
-        self.workers = tuple(ShardWorkerView(self, i) for i in range(m))
-        self._finalizer = weakref.finalize(
-            self, _shutdown_pool, list(self._conns), list(self._procs)
-        )
+            return self
+        # Pipelined like _request_all: every shard starts rebuilding before
+        # any reply is awaited, and every reply is drained even on failure
+        # (including any deferred acks still queued from the previous run).
+        for conn, payload in zip(self._conns, payloads):
+            conn.send(("rebuild", (payload,)))
+        errors = self._drain_deferred_acks()
+        replies = [conn.recv() for conn in self._conns]
+        errors += [
+            f"shard process {index} failed to rebuild its bank:\n{detail}"
+            for index, (status, detail) in enumerate(replies)
+            if status != "ok"
+        ]
+        if errors:
+            raise RuntimeError("\n".join(errors))
+        return self
 
     # -- pool plumbing -------------------------------------------------------
+    @property
+    def pool_size(self) -> int:
+        """Number of live shard servers (pool processes, or in-process servers)."""
+        return len(self._servers) if self._servers is not None else len(self._conns)
+
     def _ensure_open(self) -> None:
         if self._closed:
             raise RuntimeError("ShardedBank is closed; its process pool is gone")
+
+    def _drain_deferred_acks(self) -> list[str]:
+        """Receive the pending acks of fire-and-forget commands, oldest first.
+
+        Callers invoke this *after* sending their own command: the pipes are
+        FIFO, so each connection's queue holds the deferred acks ahead of the
+        new reply, and draining here leaves exactly that reply queued.
+        Returns error strings instead of raising so the caller can finish
+        consuming its own replies (keeping the protocol in sync) and raise
+        once with everything that went wrong.
+        """
+        deferred, self._deferred = self._deferred, []
+        errors: list[str] = []
+        for index, conn in enumerate(self._conns):
+            for past_op in deferred:
+                status, detail = conn.recv()
+                if status != "ok":
+                    errors.append(
+                        f"shard process {index} failed during deferred "
+                        f"{past_op!r}:\n{detail}"
+                    )
+        return errors
 
     def _request_all(self, op: str, *args) -> list:
         """Send one command to every shard, then gather the replies in order.
 
         All shards receive the command before any reply is awaited, so
         compute-bound commands (``local_period``) genuinely overlap across
-        the pool.  Every reply is drained even when some shard errors — a
-        partially-read round would leave stale replies queued in the pipes
-        and silently desynchronize the request/reply protocol.
+        the pool.  Commands whose replies carry no payload (``broadcast``,
+        ``set_lr``, ``reset_momentum``) do not even wait for their acks: the
+        parent returns immediately and the *next* command drains the queued
+        acks after sending itself, so the shards run the deferred command and
+        its successor back-to-back without an intervening parent wake-up —
+        one fewer blocking round-trip per training round.  Every reply is
+        drained even when some shard errors — a partially-read round would
+        leave stale replies queued in the pipes and silently desynchronize
+        the request/reply protocol; a deferred failure therefore surfaces on
+        the next synchronizing command, attributed to the op that failed.
         """
         self._ensure_open()
-        if self._servers is not None:
-            return [server.execute(op, args) for server in self._servers]
-        for conn in self._conns:
-            conn.send((op, args))
-        replies = [conn.recv() for conn in self._conns]
-        errors = [
-            f"shard process {index} failed:\n{detail}"
-            for index, (status, detail) in enumerate(replies)
-            if status != "ok"
-        ]
-        if errors:
-            raise RuntimeError("\n".join(errors))
-        return [result for _, result in replies]
+        # Shard processes never report into the parent's profiler; this scope
+        # measures the full round-trip (serialize, compute, deserialize) as
+        # the parent observes it.  Deferred ops only pay serialization here;
+        # their wait lands in the next synchronizing op's scope.
+        with profiled(f"shard_rpc.{op}"):
+            if self._servers is not None:
+                return [server.execute(op, args) for server in self._servers]
+            for conn in self._conns:
+                conn.send((op, args))
+            if op in _DEFERRED_ACK_OPS:
+                self._deferred.append(op)
+                return [None] * len(self._conns)
+            errors = self._drain_deferred_acks()
+            replies = [conn.recv() for conn in self._conns]
+            errors += [
+                f"shard process {index} failed:\n{detail}"
+                for index, (status, detail) in enumerate(replies)
+                if status != "ok"
+            ]
+            if errors:
+                raise RuntimeError("\n".join(errors))
+            return [result for _, result in replies]
 
     def _request_shard(self, shard_index: int, op: str, *args):
         self._ensure_open()
-        if self._servers is not None:
-            return self._servers[shard_index].execute(op, args)
-        self._conns[shard_index].send((op, args))
-        status, result = self._conns[shard_index].recv()
-        if status != "ok":
-            raise RuntimeError(f"shard process {shard_index} failed:\n{result}")
-        return result
+        with profiled(f"shard_rpc.{op}"):
+            if self._servers is not None:
+                return self._servers[shard_index].execute(op, args)
+            conn = self._conns[shard_index]
+            conn.send((op, args))
+            errors = self._drain_deferred_acks()
+            status, result = conn.recv()
+            if status != "ok":
+                errors.append(f"shard process {shard_index} failed:\n{result}")
+            if errors:
+                raise RuntimeError("\n".join(errors))
+            return result
 
     def _locate(self, worker_id: int) -> tuple[int, int]:
         """Map a global worker id to ``(shard_index, local_id)``."""

@@ -97,9 +97,14 @@ class WorkerBank(WorkerBackend):
         rngs: Sequence | None = None,
         template: Module | None = None,
         stream_rngs: "Sequence[Sequence] | None" = None,
+        bank_dtype: str = "float64",
     ):
         if not shards:
             raise ValueError("need at least one shard (use [None, ...] for data-free runs)")
+        # The storage dtype of the stacked bank (and the design matrix).  The
+        # float64 default is byte-identical to the loop reference; float32 is
+        # the opt-in reduced-precision mode, parity within tolerance only.
+        dtype = np.dtype(bank_dtype)
         if template is None:
             template = model_fn()
         # All unsupported-setup checks come before any RNG stream (or extra
@@ -120,7 +125,12 @@ class WorkerBank(WorkerBackend):
             loader = None
         else:
             try:
-                loader = BankLoader(shards, batch_size, rngs=rngs)
+                loader = BankLoader(
+                    shards,
+                    batch_size,
+                    rngs=rngs,
+                    dtype=None if dtype == np.float64 else dtype,
+                )
             except ValueError as err:
                 raise BackendUnsupported(f"stacked sampling unavailable: {err}") from err
         # Stochastic modules (dropout masks, data-free gradient noise) need
@@ -136,7 +146,7 @@ class WorkerBank(WorkerBackend):
         elif any(True for _ in template.stream_modules()):
             attach_bank_streams(template, [model_fn() for _ in range(len(shards) - 1)])
         self.model = template
-        self.bank = ParameterBank(template, len(shards))
+        self.bank = ParameterBank(template, len(shards), dtype=dtype)
         self.loader = loader
         self._shard_sizes = None if data_free else [len(shard) for shard in shards]
         self.optimizer = BankSGD(

@@ -12,6 +12,11 @@ The experiment is composed declaratively from the ``repro.api`` registries:
 * ``--backend`` selects the worker-execution engine (``auto``, ``loop``,
   ``vectorized``, or ``sharded`` — see ``--list backends``; the sharded pool
   size comes from ``--set backend_shards=N``);
+* ``--bank-dtype`` selects the bank storage precision (``float64`` is the
+  byte-identical default; ``float32`` trades byte-equality for memory
+  bandwidth);
+* ``--profile`` runs the experiment under the per-op profiler and prints the
+  sorted timing table (plus machine-readable JSON) after the summary;
 * ``--set key=value`` (repeatable) overrides any config field, with values
   parsed as Python literals (``--set n_workers=4 --set delay=pareto``);
 * ``--list {configs,models,datasets,delays,schedules,scalings,lr_schedules,backends,sweeps}``
@@ -85,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker-execution backend: auto, loop, vectorized, or sharded "
                              "(see --list backends; auto picks vectorized when supported and "
                              "escalates to sharded at large n_workers)")
+    parser.add_argument("--bank-dtype", default=None, choices=["float64", "float32"],
+                        help="bank storage dtype: float64 (byte-identical default) or "
+                             "float32 (reduced precision, parity within tolerance)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile per-op time (im2col, GEMM, optimizer, averaging, "
+                             "shard RPC, ...) and print the table after the run")
     parser.add_argument("--set", dest="overrides", action="append", default=[],
                         type=key_value_parser("--set"), metavar="KEY=VALUE",
                         help="override any config field (repeatable), e.g. --set n_workers=4")
@@ -131,6 +142,8 @@ def _load_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["model"] = args.model
     if args.backend is not None:
         overrides["backend"] = args.backend
+    if args.bank_dtype is not None:
+        overrides["bank_dtype"] = args.bank_dtype
     if overrides:
         try:
             config = config.with_overrides(**overrides)
@@ -154,6 +167,7 @@ def _run_sweep(args: argparse.Namespace, parser_defaults: argparse.Namespace) ->
         flag
         for flag, attr in [
             ("--config", "config"), ("--model", "model"), ("--backend", "backend"),
+            ("--bank-dtype", "bank_dtype"), ("--profile", "profile"),
             ("--set", "overrides"), ("--scale", "scale"), ("--seed", "seed"),
             ("--save", "save"),
         ]
@@ -229,7 +243,15 @@ def main(argv: list[str] | None = None) -> int:
           f"budget={config.wall_time_budget:.0f}s, lr={config.lr}, "
           f"backend={config.backend}")
 
-    store = run_experiment(config)
+    if args.profile:
+        from repro.utils.timer import Profiler
+
+        profiler = Profiler()
+        with profiler:
+            store = run_experiment(config)
+    else:
+        profiler = None
+        store = run_experiment(config)
 
     for record in store:
         print(f"\n=== {record.name} ===")
@@ -259,6 +281,12 @@ def main(argv: list[str] | None = None) -> int:
     if "adacomm" in store and "sync-sgd" in store:
         speedup = store.speedup("adacomm", "sync-sgd", target_loss=target)
         print(f"\nADACOMM speed-up over fully synchronous SGD at loss {target:.3g}: {speedup:.2f}x")
+
+    if profiler is not None:
+        print()
+        print(profiler.table())
+        print()
+        print(profiler.to_json())
 
     if args.save:
         store.save(args.save)

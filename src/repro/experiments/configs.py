@@ -80,6 +80,10 @@ class ExperimentConfig:
     backend: str = "auto"
     backend_shards: int = 2
     auto_shard_threshold: "int | None" = 64
+    # Bank storage dtype: "float64" (byte-identical default) or "float32"
+    # (opt-in reduced precision — half the memory traffic, parity within
+    # tolerance; the loop backend stays the float64 reference regardless).
+    bank_dtype: str = "float64"
     # Averaging-collective weighting: "uniform" (paper, eq. 3) or
     # "shard_size" (FedAvg-style, for unbalanced partitions).
     weighting: str = "uniform"
@@ -204,6 +208,10 @@ class ExperimentConfig:
         if self.auto_shard_threshold is not None and self.auto_shard_threshold < 1:
             raise ValueError(
                 f"auto_shard_threshold must be >= 1 or None, got {self.auto_shard_threshold}"
+            )
+        if self.bank_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"unknown bank_dtype {self.bank_dtype!r}; choose 'float64' or 'float32'"
             )
         if self.weighting not in ("uniform", "shard_size"):
             raise ValueError(

@@ -34,6 +34,7 @@ from repro.core.schedules import CommunicationSchedule
 from repro.core.trainer import PASGDTrainer, TrainerConfig
 from repro.data.synthetic import Dataset
 from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.reuse import BackendHandle
 from repro.experiments.configs import ExperimentConfig
 from repro.optim.block_momentum import BlockMomentum
 from repro.optim.lr_schedules import LRSchedule
@@ -272,11 +273,16 @@ def run_method(
     train_set: Dataset | None = None,
     test_set: Dataset | None = None,
     record_discrepancy: bool = False,
+    backend_handle: "BackendHandle | None" = None,
 ) -> RunRecord:
     """Run one method under ``config`` and return its trajectory.
 
     ``method`` may be a :class:`MethodSpec` or a method spec string such as
-    ``"pasgd-tau20"`` (see :func:`parse_method_spec`).
+    ``"pasgd-tau20"`` (see :func:`parse_method_spec`).  ``backend_handle``
+    opts into backend reuse across calls: the cluster resolves its backend
+    through the handle (so a sharded pool spawned by one method is rebuilt
+    in place for the next) and the *caller* owns the pool's lifetime —
+    the per-run ``cluster.close()`` here leaves it alive.
     """
     method = parse_method_spec(method, config)
     seeds = SeedSequence(config.seed)
@@ -305,10 +311,11 @@ def run_method(
         weight_decay=config.weight_decay,
         block_momentum=block,
         seed=seeds.spawn(),
-        backend=config.backend,
+        backend=config.backend if backend_handle is None else backend_handle,
         weighting=config.weighting,
         n_shards=config.backend_shards,
         auto_shard_threshold=config.auto_shard_threshold,
+        bank_dtype=config.bank_dtype,
     )
 
     try:
@@ -352,8 +359,18 @@ def run_experiment(
     config: ExperimentConfig,
     methods: Sequence["MethodSpec | str"] | None = None,
     record_discrepancy: bool = False,
+    backend_handle: "BackendHandle | None" = None,
 ) -> RunStore:
-    """Run all methods on a shared dataset split and collect their records."""
+    """Run all methods on a shared dataset split and collect their records.
+
+    The whole lineup shares one :class:`BackendHandle`, so when the config
+    resolves to the sharded backend its process pool is spawned once and
+    rebuilt in place between methods instead of respawned per method
+    (byte-identical trajectories either way; see
+    ``repro.distributed.reuse``).  Passing ``backend_handle`` extends the
+    reuse across *calls* — e.g. the serial sweep path hands every cell one
+    handle — in which case the caller owns (and must close) the handle.
+    """
     seeds = SeedSequence(config.seed)
     train_set, test_set = _split_dataset(config, seeds.generator())
     store = RunStore()
@@ -362,14 +379,27 @@ def run_experiment(
         if methods is not None
         else default_methods(config)
     )
-    for method in resolved:
-        logger.info("running %s on %s", method.label, config.name)
-        record = run_method(
-            config,
-            method,
-            train_set=train_set,
-            test_set=test_set,
-            record_discrepancy=record_discrepancy,
-        )
-        store.add(record)
+
+    def _run_lineup(handle: BackendHandle) -> None:
+        for method in resolved:
+            logger.info("running %s on %s", method.label, config.name)
+            record = run_method(
+                config,
+                method,
+                train_set=train_set,
+                test_set=test_set,
+                record_discrepancy=record_discrepancy,
+                backend_handle=handle,
+            )
+            store.add(record)
+
+    if backend_handle is not None:
+        _run_lineup(backend_handle)
+    else:
+        with BackendHandle(
+            config.backend,
+            n_shards=config.backend_shards,
+            auto_shard_threshold=config.auto_shard_threshold,
+        ) as handle:
+            _run_lineup(handle)
     return store

@@ -16,6 +16,7 @@ import numpy as np
 from repro.nn import init as init_mod
 from repro.nn.tensor import Tensor
 from repro.utils.seeding import check_random_state
+from repro.utils.timer import profiled
 
 __all__ = [
     "Module",
@@ -31,6 +32,8 @@ __all__ = [
     "AvgPool2d",
     "BatchNorm1d",
     "Residual",
+    "clear_kernel_plan_cache",
+    "kernel_plan_cache_stats",
 ]
 
 
@@ -352,7 +355,11 @@ class Dropout(Module):
         # produces byte-identical masks (and stream positions) on either
         # backend.  Only the draws loop over m; the masking is one op.
         per_worker = x.shape[1:]
-        mask = (np.stack([rng.random(per_worker) for rng in rngs]) >= self.p) / (1.0 - self.p)
+        keep = np.stack([rng.random(per_worker) for rng in rngs]) >= self.p
+        # Build the mask in the activation dtype so the float32 bank mode
+        # stays float32 end to end; in float64 this is the exact bool/float
+        # promotion NumPy would apply anyway (byte-identical to the loop).
+        mask = keep.astype(x.data.dtype) / x.data.dtype.type(1.0 - self.p)
         return x * Tensor(mask)
 
     def _consumes_stream(self) -> bool:
@@ -386,36 +393,204 @@ class Sequential(Module):
         return self._seq[idx]
 
 
+class _ConvPlan:
+    """Precomputed im2col/col2im index maps for one ``(c, h, w, kh, kw, stride)``.
+
+    The historical implementation rebuilt an ``as_strided`` view plus a
+    transpose/reshape copy on *every* forward, and ran a Python loop of
+    strided slice-adds on every backward.  The geometry never changes between
+    steps, so the gather and scatter index maps are computed once and reused
+    — one ``take`` per forward, ``kh·kw`` indexed adds per backward.
+
+    Byte-compatibility contract (load-bearing for the golden fixtures and the
+    loop↔vectorized↔sharded equivalence matrix):
+
+    * ``gather`` reproduces exactly the historical patch layout
+      ``(oh, ow, c, kh, kw)``, so the GEMM inputs — hence outputs — are
+      bit-identical to the stride-trick path.
+    * ``col2im`` replays the historical accumulation order: one pass per
+      kernel offset ``(i, j)`` in ascending order.  Within a pass every
+      destination is unique (windows at a fixed offset never collide), so
+      the per-element add order matches the old slice-add loop, keeping
+      IEEE-754 sums bit-identical even for overlapping windows
+      (stride < kernel).  The two scatter strategies below differ only in
+      memory layout of the *source*, never in add order or operands.
+    """
+
+    __slots__ = (
+        "c", "h", "w", "kh", "kw", "stride", "out_h", "out_w", "gather",
+        "scatter_dst", "scatter_src",
+    )
+
+    #: cols.size bounds choosing the scatter strategy: below the first the
+    #: strided-view passes stay cache-resident, between them the cached
+    #: fancy-index scatter wins, above the second the bulk transpose copy
+    #: pays for itself.  All three are bit-identical (same pass order).
+    _COL2IM_FANCY_MIN = 16384
+    _COL2IM_TRANSPOSE_MIN = 131072
+
+    def __init__(self, c: int, h: int, w: int, kh: int, kw: int, stride: int):
+        out_h = (h - kh) // stride + 1
+        out_w = (w - kw) // stride + 1
+        self.c, self.h, self.w = c, h, w
+        self.kh, self.kw, self.stride = kh, kw, stride
+        self.out_h, self.out_w = out_h, out_w
+
+        ci = np.arange(c, dtype=np.intp)
+        rows = np.arange(out_h, dtype=np.intp)[:, None] * stride + np.arange(kh, dtype=np.intp)
+        cols = np.arange(out_w, dtype=np.intp)[:, None] * stride + np.arange(kw, dtype=np.intp)
+        # gather[(oi, oj), (ci, i, j)] -> flat position in a (c·h·w) sample.
+        self.gather = (
+            ci[None, None, :, None, None] * (h * w)
+            + rows[:, None, None, :, None] * w
+            + cols[None, :, None, None, :]
+        ).reshape(out_h * out_w * c * kh * kw)
+
+        # Per-offset flat scatter maps for the mid-size col2im strategy:
+        # destination positions in a (c·h·w) sample, source positions in a
+        # (oh·ow·c·kh·kw) column row, both in (ci, oi, oj) order.
+        ci3, oi3, oj3 = ci[:, None, None], np.arange(out_h, dtype=np.intp)[None, :, None], np.arange(out_w, dtype=np.intp)[None, None, :]
+        self.scatter_dst = np.empty((kh * kw, c * out_h * out_w), dtype=np.intp)
+        self.scatter_src = np.empty_like(self.scatter_dst)
+        for q in range(kh * kw):
+            i, j = divmod(q, kw)
+            self.scatter_dst[q] = (ci3 * (h * w) + (i + stride * oi3) * w + (j + stride * oj3)).ravel()
+            self.scatter_src[q] = ((oi3 * out_w + oj3) * (c * kh * kw) + ci3 * (kh * kw) + i * kw + j).ravel()
+
+    def im2col(self, x: np.ndarray) -> np.ndarray:
+        """Gather NCHW input patches to ``(n·oh·ow, c·kh·kw)`` columns."""
+        n = x.shape[0]
+        flat = x.reshape(n, self.c * self.h * self.w)
+        return flat.take(self.gather, axis=1).reshape(-1, self.c * self.kh * self.kw)
+
+    def col2im(self, cols: np.ndarray, n: int) -> np.ndarray:
+        """Scatter column gradients back to ``(n, c, h, w)`` (inverse of im2col)."""
+        c, h, w, kh, kw, s = self.c, self.h, self.w, self.kh, self.kw, self.stride
+        out_h, out_w = self.out_h, self.out_w
+        if cols.size >= self._COL2IM_TRANSPOSE_MIN and out_h * out_w >= 64:
+            # Large-spatial scatter: one bulk transpose copy up front so every
+            # pass reads a contiguous (n, c, oh, ow) block instead of striding
+            # through the whole column matrix kh·kw times.  Small spatial maps
+            # make those per-pass blocks tiny, where the indexed add below
+            # wins despite its gather cost.
+            dx = np.zeros((n, c, h, w), dtype=cols.dtype)
+            p = np.ascontiguousarray(cols.reshape(n, out_h * out_w, c, kh * kw).transpose(0, 3, 2, 1))
+            p = p.reshape(n, kh * kw, c, out_h, out_w)
+            for k in range(kh * kw):
+                i, j = divmod(k, kw)
+                dx[:, :, i : i + s * out_h : s, j : j + s * out_w : s] += p[:, k]
+            return dx
+        if cols.size >= self._COL2IM_FANCY_MIN:
+            # Mid-size scatter: precomputed flat index maps; per pass the
+            # destinations are unique, so the buffered fancy add is exact.
+            colsf = cols.reshape(n, -1)
+            dxf = np.zeros((n, c * h * w), dtype=cols.dtype)
+            for dst, src in zip(self.scatter_dst, self.scatter_src):
+                dxf[:, dst] += colsf[:, src]
+            return dxf.reshape(n, c, h, w)
+        # Small scatter: strided pass sources stay cache-resident; skip the
+        # transpose copy and the index arithmetic.
+        dx = np.zeros((n, c, h, w), dtype=cols.dtype)
+        patches = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+        for i in range(kh):
+            for j in range(kw):
+                dx[:, :, i : i + s * out_h : s, j : j + s * out_w : s] += patches[:, :, i, j]
+        return dx
+
+
+#: Conv gather/scatter plans keyed by ``(c, h, w, kh, kw, stride)`` and pool
+#: backward index maps keyed by ``(n, c, h, w, k, s)``.  Bounded FIFO caches:
+#: a handful of geometries per model, but eval batch sizes vary, so evict the
+#: oldest entry past the cap instead of growing without bound.
+_CONV_PLANS: dict[tuple, _ConvPlan] = {}
+_POOL_PLANS: dict[tuple, np.ndarray] = {}
+_PLAN_CACHE_CAP = 128
+_plan_cache_hits = 0
+_plan_cache_misses = 0
+
+
+def _conv_plan(c: int, h: int, w: int, kh: int, kw: int, stride: int) -> _ConvPlan:
+    global _plan_cache_hits, _plan_cache_misses
+    key = (c, h, w, kh, kw, stride)
+    plan = _CONV_PLANS.get(key)
+    if plan is None:
+        _plan_cache_misses += 1
+        if len(_CONV_PLANS) >= _PLAN_CACHE_CAP:
+            _CONV_PLANS.pop(next(iter(_CONV_PLANS)))
+        plan = _CONV_PLANS[key] = _ConvPlan(c, h, w, kh, kw, stride)
+    else:
+        _plan_cache_hits += 1
+    return plan
+
+
+def _pool_base(n: int, c: int, h: int, w: int, out_h: int, out_w: int, s: int) -> np.ndarray:
+    """Cached flat indices of each pooling window's origin, shape (n, c, oh, ow)."""
+    global _plan_cache_hits, _plan_cache_misses
+    key = (n, c, h, w, out_h, out_w, s)
+    base = _POOL_PLANS.get(key)
+    if base is None:
+        _plan_cache_misses += 1
+        if len(_POOL_PLANS) >= _PLAN_CACHE_CAP:
+            _POOL_PLANS.pop(next(iter(_POOL_PLANS)))
+        ni = np.arange(n, dtype=np.intp)[:, None, None, None]
+        ci = np.arange(c, dtype=np.intp)[None, :, None, None]
+        oi = np.arange(out_h, dtype=np.intp)[None, None, :, None]
+        oj = np.arange(out_w, dtype=np.intp)[None, None, None, :]
+        base = ((ni * c + ci) * h + s * oi) * w + s * oj
+        _POOL_PLANS[key] = base
+    else:
+        _plan_cache_hits += 1
+    return base
+
+
+#: ``(k, w) -> (k²,)`` flat offsets of each in-window position; tiny and
+#: geometry-stable, so cached without a cap alongside the pool bases.
+_POOL_OFFSETS: dict[tuple[int, int], np.ndarray] = {}
+
+
+def _pool_offsets(k: int, w: int) -> np.ndarray:
+    """Cached flat offset of window position ``t`` (row-major): ``(t//k)*w + t%k``."""
+    key = (k, w)
+    offsets = _POOL_OFFSETS.get(key)
+    if offsets is None:
+        t = np.arange(k * k, dtype=np.intp)
+        offsets = _POOL_OFFSETS[key] = (t // k) * w + t % k
+    return offsets
+
+
+def clear_kernel_plan_cache() -> None:
+    """Drop all cached conv/pool index plans (test hook; safe at any time)."""
+    global _plan_cache_hits, _plan_cache_misses
+    _CONV_PLANS.clear()
+    _POOL_PLANS.clear()
+    _POOL_OFFSETS.clear()
+    _plan_cache_hits = 0
+    _plan_cache_misses = 0
+
+
+def kernel_plan_cache_stats() -> dict[str, int]:
+    """Sizes and hit/miss counters of the kernel plan caches."""
+    return {
+        "conv_plans": len(_CONV_PLANS),
+        "pool_plans": len(_POOL_PLANS),
+        "hits": _plan_cache_hits,
+        "misses": _plan_cache_misses,
+    }
+
+
 def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> tuple[np.ndarray, int, int]:
     """Convert NCHW input patches to columns for convolution as matmul."""
     n, c, h, w = x.shape
-    out_h = (h - kh) // stride + 1
-    out_w = (w - kw) // stride + 1
-    shape = (n, c, kh, kw, out_h, out_w)
-    strides = (
-        x.strides[0],
-        x.strides[1],
-        x.strides[2],
-        x.strides[3],
-        x.strides[2] * stride,
-        x.strides[3] * stride,
-    )
-    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
-    cols = patches.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, c * kh * kw)
-    return np.ascontiguousarray(cols), out_h, out_w
+    plan = _conv_plan(c, h, w, kh, kw, stride)
+    with profiled("im2col"):
+        return plan.im2col(x), plan.out_h, plan.out_w
 
 
 def _col2im(cols: np.ndarray, x_shape: tuple[int, ...], kh: int, kw: int, stride: int) -> np.ndarray:
     """Scatter column gradients back to the NCHW input shape (inverse of im2col)."""
     n, c, h, w = x_shape
-    out_h = (h - kh) // stride + 1
-    out_w = (w - kw) // stride + 1
-    patches = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
-    dx = np.zeros(x_shape, dtype=cols.dtype)
-    for i in range(kh):
-        for j in range(kw):
-            dx[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += patches[:, :, i, j]
-    return dx
+    with profiled("col2im"):
+        return _conv_plan(c, h, w, kh, kw, stride).col2im(cols, n)
 
 
 class Conv2d(Module):
@@ -463,12 +638,17 @@ class Conv2d(Module):
         stride = self.stride
         x_data = x.data
         n, c, h, w = x_data.shape
-        cols, out_h, out_w = _im2col(x_data, kh, kw, stride)
-        w_mat = self.weight.data.reshape(self.out_channels, -1).T  # (c*kh*kw, out_c)
-        out_cols = cols @ w_mat
-        out_data = out_cols.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
-        if self.bias is not None:
-            out_data = out_data + self.bias.data.reshape(1, -1, 1, 1)
+        with profiled("conv2d.forward"):
+            cols, out_h, out_w = _im2col(x_data, kh, kw, stride)
+            w_mat = self.weight.data.reshape(self.out_channels, -1).T  # (c*kh*kw, out_c)
+            out_cols = cols @ w_mat
+            # Materialize a C-contiguous output: the transpose view would leak
+            # its layout through every downstream ufunc (bias add, ReLU, pooling).
+            out_data = np.ascontiguousarray(
+                out_cols.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+            )
+            if self.bias is not None:
+                out_data += self.bias.data.reshape(1, -1, 1, 1)
 
         weight = self.weight
         bias = self.bias
@@ -477,14 +657,19 @@ class Conv2d(Module):
 
         def backward(g):
             # g: (n, out_c, out_h, out_w)
-            g_cols = g.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
-            dw = (cols.T @ g_cols).T.reshape(weight.shape)
-            dcols = g_cols @ w_mat.T
-            dx = _col2im(dcols, x_shape, kh, kw, stride)
-            if bias is None:
-                return (dx, dw)
-            db = g.sum(axis=(0, 2, 3))
-            return (dx, dw, db)
+            with profiled("conv2d.backward"):
+                g_cols = g.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+                dw = (cols.T @ g_cols).T.reshape(weight.shape)
+                if x.requires_grad:
+                    dx = _col2im(g_cols @ w_mat.T, x_shape, kh, kw, stride)
+                else:
+                    # First-layer input: the scatter (and its GEMM) would be
+                    # discarded by the engine, so don't compute it.
+                    dx = None
+                if bias is None:
+                    return (dx, dw)
+                db = g.sum(axis=(0, 2, 3))
+                return (dx, dw, db)
 
         return x._make(out_data, parents, backward)
 
@@ -506,33 +691,49 @@ class Conv2d(Module):
         kh = kw = self.kernel_size
         stride, pad = self.stride, self.padding
         x_data = x.data
-        if pad:
-            x_data = np.pad(x_data, ((0, 0), (0, 0), (0, 0), (pad, pad), (pad, pad)))
-        m, b, c, h, w = x_data.shape
-        cols, out_h, out_w = _im2col(x_data.reshape(m * b, c, h, w), kh, kw, stride)
-        cols3 = cols.reshape(m, b * out_h * out_w, c * kh * kw)
-        w_mat = weight.data.reshape(m, self.out_channels, -1).transpose(0, 2, 1)
-        out_cols = cols3 @ w_mat  # (m, B·oh·ow, out_c)
-        out_data = out_cols.reshape(m, b, out_h, out_w, self.out_channels).transpose(0, 1, 4, 2, 3)
-        if bias is not None:
-            out_data = out_data + bias.data.reshape(m, 1, -1, 1, 1)
+        with profiled("conv2d.bank_forward"):
+            if pad:
+                # Zero-fill + interior assign: same bytes as np.pad without its
+                # per-call Python machinery (this runs once per conv per step).
+                mm, bb, cc, hh, ww = x_data.shape
+                padded = np.zeros((mm, bb, cc, hh + 2 * pad, ww + 2 * pad), dtype=x_data.dtype)
+                padded[:, :, :, pad:-pad, pad:-pad] = x_data
+                x_data = padded
+            m, b, c, h, w = x_data.shape
+            cols, out_h, out_w = _im2col(x_data.reshape(m * b, c, h, w), kh, kw, stride)
+            cols3 = cols.reshape(m, b * out_h * out_w, c * kh * kw)
+            w_mat = weight.data.reshape(m, self.out_channels, -1).transpose(0, 2, 1)
+            out_cols = cols3 @ w_mat  # (m, B·oh·ow, out_c)
+            # Materialize a C-contiguous output (see forward): downstream ufuncs
+            # inherit the layout, and the pooling fast path needs C order.
+            out_data = np.ascontiguousarray(
+                out_cols.reshape(m, b, out_h, out_w, self.out_channels).transpose(0, 1, 4, 2, 3)
+            )
+            if bias is not None:
+                out_data += bias.data.reshape(m, 1, -1, 1, 1)
 
         padded_shape = (m * b, c, h, w)
         parents = (x, weight) if bias is None else (x, weight, bias)
 
         def backward(g):
             # g: (m, B, out_c, oh, ow)
-            g_cols = g.transpose(0, 1, 3, 4, 2).reshape(m, b * out_h * out_w, self.out_channels)
-            dw = (cols3.transpose(0, 2, 1) @ g_cols).transpose(0, 2, 1).reshape(weight.shape)
-            dcols = g_cols @ w_mat.transpose(0, 2, 1)
-            dx = _col2im(dcols.reshape(-1, c * kh * kw), padded_shape, kh, kw, stride)
-            dx = dx.reshape(m, b, c, h, w)
-            if pad:
-                dx = dx[:, :, :, pad:-pad, pad:-pad]
-            if bias is None:
-                return (dx, dw)
-            db = g.sum(axis=(1, 3, 4))
-            return (dx, dw, db)
+            with profiled("conv2d.bank_backward"):
+                g_cols = g.transpose(0, 1, 3, 4, 2).reshape(m, b * out_h * out_w, self.out_channels)
+                dw = (cols3.transpose(0, 2, 1) @ g_cols).transpose(0, 2, 1).reshape(weight.shape)
+                if x.requires_grad:
+                    dcols = g_cols @ w_mat.transpose(0, 2, 1)
+                    dx = _col2im(dcols.reshape(-1, c * kh * kw), padded_shape, kh, kw, stride)
+                    dx = dx.reshape(m, b, c, h, w)
+                    if pad:
+                        dx = dx[:, :, :, pad:-pad, pad:-pad]
+                else:
+                    # First-layer input: the scatter (and its GEMM) would be
+                    # discarded by the engine, so don't compute it.
+                    dx = None
+                if bias is None:
+                    return (dx, dw)
+                db = g.sum(axis=(1, 3, 4))
+                return (dx, dw, db)
 
         return x._make(out_data, parents, backward)
 
@@ -545,61 +746,118 @@ class _Pool2d(Module):
         self.kernel_size = kernel_size
         self.stride = stride or kernel_size
 
+    def _forward_arrays(self, x_data: np.ndarray):  # pragma: no cover - abstract
+        """Array-level pool: return ``(out_data, backward)`` for NCHW input."""
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        with profiled("pool.forward"):
+            out_data, array_backward = self._forward_arrays(x.data)
+
+        def backward(g):
+            with profiled("pool.backward"):
+                return (array_backward(g),)
+
+        return x._make(out_data, (x,), backward)
+
     def bank_forward(self, x: Tensor, params, prefix: str = "") -> Tensor:
         # Pooling has no parameters, so the worker axis simply folds into the
         # batch axis and the single-replica window arithmetic runs unchanged
-        # (byte-identical per slice); the reshapes route gradients back.
+        # (byte-identical per slice).  The fold happens at the ndarray level —
+        # one graph node instead of reshape→pool→reshape — so the bank path
+        # spends nothing on extra autograd bookkeeping.
         if x.ndim != 5:
             raise ValueError(f"pooling bank_forward expects (m, B, C, H, W) input, got shape {x.shape}")
-        m, b = x.shape[0], x.shape[1]
-        out = self.forward(x.reshape(m * b, *x.shape[2:]))
-        return out.reshape(m, b, *out.shape[1:])
+        x_data = x.data
+        m, b = x_data.shape[0], x_data.shape[1]
+        with profiled("pool.bank_forward"):
+            out4, array_backward = self._forward_arrays(x_data.reshape(m * b, *x_data.shape[2:]))
+        out_data = out4.reshape(m, b, *out4.shape[1:])
+
+        def backward(g):
+            with profiled("pool.bank_backward"):
+                dx4 = array_backward(g.reshape(m * b, *g.shape[2:]))
+                return (dx4.reshape(x_data.shape),)
+
+        return x._make(out_data, (x,), backward)
 
 
 class MaxPool2d(_Pool2d):
     """Max pooling over non-overlapping (or strided) windows of an NCHW tensor."""
 
-    def forward(self, x: Tensor) -> Tensor:
+    def _forward_arrays(self, x_data: np.ndarray):
         k, s = self.kernel_size, self.stride
-        n, c, h, w = x.shape
+        n, c, h, w = x_data.shape
         out_h = (h - k) // s + 1
         out_w = (w - k) // s + 1
-        x_data = x.data
-        shape = (n, c, out_h, out_w, k, k)
-        strides = (
-            x_data.strides[0],
-            x_data.strides[1],
-            x_data.strides[2] * s,
-            x_data.strides[3] * s,
-            x_data.strides[2],
-            x_data.strides[3],
-        )
-        windows = np.lib.stride_tricks.as_strided(x_data, shape=shape, strides=strides)
-        out_data = windows.max(axis=(4, 5))
+        # Exactly-tiling non-overlapping windows on a C-contiguous input
+        # reduce over a plain reshape view — much faster than the strided
+        # window view, and the same element set per window either way.
+        tiled = s == k and h == out_h * k and w == out_w * k and x_data.flags.c_contiguous
+        if tiled:
+            blocks = x_data.reshape(n, c, out_h, k, out_w, k)
+            views = [blocks[:, :, :, i, :, j] for i in range(k) for j in range(k)]
+        else:
+            shape = (n, c, out_h, out_w, k, k)
+            strides = (
+                x_data.strides[0],
+                x_data.strides[1],
+                x_data.strides[2] * s,
+                x_data.strides[3] * s,
+                x_data.strides[2],
+                x_data.strides[3],
+            )
+            windows = np.lib.stride_tricks.as_strided(x_data, shape=shape, strides=strides)
+            views = [windows[:, :, :, :, i, j] for i in range(k) for j in range(k)]
+        # Sequential pairwise maximum over the k² window offsets, ascending
+        # (i, j) — max is associativity-free, so this equals the multi-axis
+        # reduce bit-for-bit while running one contiguous-output ufunc per
+        # offset instead of a strided multi-axis reduction.
+        if len(views) == 1:
+            out_data = views[0].copy()
+        else:
+            out_data = np.maximum(views[0], views[1])
+            for v in views[2:]:
+                np.maximum(out_data, v, out=out_data)
 
         def backward(g):
-            dx = np.zeros_like(x_data)
-            flat = windows.reshape(n, c, out_h, out_w, k * k)
+            if tiled:
+                flat = blocks.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, out_h, out_w, k * k)
+            else:
+                flat = windows.reshape(n, c, out_h, out_w, k * k)
             argmax = flat.argmax(axis=4)
-            ii, jj = np.unravel_index(argmax, (k, k))
-            ni, ci, oi, oj = np.meshgrid(
-                np.arange(n), np.arange(c), np.arange(out_h), np.arange(out_w), indexing="ij"
-            )
-            np.add.at(dx, (ni, ci, oi * s + ii, oj * s + jj), g)
-            return (dx,)
+            # Cached window-origin indices turn the scatter into one flat
+            # indexed write instead of a 4-array tuple scatter per step; the
+            # cached in-window offset table maps argmax straight to a flat
+            # offset (one gather) instead of divmod arithmetic per call.
+            # Scatter into an explicitly flat buffer: the pooling input is
+            # often a non-C-contiguous view, where reshaping zeros_like(...)
+            # would silently copy and drop the scattered writes.
+            idx = _pool_base(n, c, h, w, out_h, out_w, s) + _pool_offsets(k, w)[argmax]
+            dxr = np.zeros(n * c * h * w, dtype=x_data.dtype)
+            if s >= k:
+                # Non-overlapping windows: one argmax per window, destinations
+                # unique — a plain write equals the accumulate bit-for-bit.
+                dxr[idx.reshape(-1)] = g.reshape(-1)
+            else:
+                # Overlapping windows can collide; add.at iterates the index
+                # array row-major over (n, c, oh, ow) — the same accumulation
+                # order as the historical meshgrid scatter, so sums keep the
+                # exact bytes.
+                np.add.at(dxr, idx.reshape(-1), g.reshape(-1))
+            return dxr.reshape(n, c, h, w)
 
-        return x._make(out_data, (x,), backward)
+        return out_data, backward
 
 
 class AvgPool2d(_Pool2d):
     """Average pooling over windows of an NCHW tensor."""
 
-    def forward(self, x: Tensor) -> Tensor:
+    def _forward_arrays(self, x_data: np.ndarray):
         k, s = self.kernel_size, self.stride
-        n, c, h, w = x.shape
+        n, c, h, w = x_data.shape
         out_h = (h - k) // s + 1
         out_w = (w - k) // s + 1
-        x_data = x.data
         shape = (n, c, out_h, out_w, k, k)
         strides = (
             x_data.strides[0],
@@ -619,9 +877,9 @@ class AvgPool2d(_Pool2d):
             for i in range(k):
                 for j in range(k):
                     dx[:, :, i : i + s * out_h : s, j : j + s * out_w : s] += g_scaled
-            return (dx,)
+            return dx
 
-        return x._make(out_data, (x,), backward)
+        return out_data, backward
 
 
 class BatchNorm1d(Module):

@@ -275,9 +275,11 @@ class Tensor:
         out_data = self.data @ other.data
 
         def backward(g):
-            ga = g @ other.data.swapaxes(-1, -2)
-            gb = self.data.swapaxes(-1, -2) @ g
-            return (_unbroadcast(ga, self.shape), _unbroadcast(gb, other.shape))
+            # Skip the GEMM for a parent that cannot use the gradient (e.g.
+            # the input batch of a first layer) — the engine discards None.
+            ga = _unbroadcast(g @ other.data.swapaxes(-1, -2), self.shape) if self.requires_grad else None
+            gb = _unbroadcast(self.data.swapaxes(-1, -2) @ g, other.shape) if other.requires_grad else None
+            return (ga, gb)
 
         return self._make(out_data, (self, other), backward)
 

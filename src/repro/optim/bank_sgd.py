@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.bank import ParameterBank
+from repro.utils.timer import profiled
 
 __all__ = ["BankSGD"]
 
@@ -54,34 +55,73 @@ class BankSGD:
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
         self.nesterov = nesterov
-        self._velocity: dict[str, np.ndarray | None] = {name: None for name in bank.params}
+        # Velocity and update scratch are preallocated so every step —
+        # including the first — takes the same fused in-place code path.
+        self._velocity: dict[str, np.ndarray] = {
+            name: np.zeros_like(p.data) for name, p in bank.params.items()
+        }
+        self._update: dict[str, np.ndarray] = {
+            name: np.empty_like(p.data) for name, p in bank.params.items()
+        }
+        # Nesterov with weight decay needs a second scratch: the first holds
+        # the decayed gradient while the look-ahead term is formed.
+        self._lookahead: dict[str, np.ndarray] = (
+            {name: np.empty_like(p.data) for name, p in bank.params.items()}
+            if nesterov and weight_decay
+            else {}
+        )
         self.n_steps = 0
 
     def zero_grad(self) -> None:
         self.bank.zero_grad()
 
     def step(self) -> None:
-        """Apply one update to every worker slice from the stacked gradients."""
-        for name, p in self.bank.params.items():
-            if p.grad is None:
-                continue
-            grad = p.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
-            if self.momentum:
-                velocity = self._velocity[name]
-                if velocity is None:
-                    velocity = np.zeros_like(p.data)
-                    self._velocity[name] = velocity
-                # In-place v ← momentum·v + grad; same arithmetic as SGD but
-                # without a fresh (m, *shape) temporary per step.
-                velocity *= self.momentum
-                velocity += grad
-                if self.nesterov:
-                    grad = grad + self.momentum * velocity
+        """Apply one update to every worker slice from the stacked gradients.
+
+        The update is fused onto preallocated buffers: no ``(m, *shape)``
+        temporary is created per parameter per step.  Every reordering below
+        (``wd·p + grad`` for ``grad + wd·p``, scaled-subtract for
+        ``p -= lr·grad``) commutes bitwise under IEEE-754, so the trajectory
+        stays byte-identical to the loop reference.
+        """
+        lr = self.lr
+        momentum = self.momentum
+        wd = self.weight_decay
+        with profiled("bank_sgd.step"):
+            for name, p in self.bank.params.items():
+                grad = p.grad
+                if grad is None:
+                    continue
+                buf = self._update[name]
+                in_scratch = False
+                if wd:
+                    # buf ← wd·p + grad (addition commutes, bytes match grad + wd·p).
+                    np.multiply(p.data, wd, out=buf)
+                    buf += grad
+                    grad = buf
+                    in_scratch = True
+                if momentum:
+                    velocity = self._velocity[name]
+                    # v ← momentum·v + grad, in place on the persistent buffer.
+                    velocity *= momentum
+                    velocity += grad
+                    if self.nesterov:
+                        out = self._lookahead[name] if in_scratch else buf
+                        np.multiply(velocity, momentum, out=out)
+                        out += grad
+                        grad = out
+                        in_scratch = True
+                    else:
+                        grad = velocity
+                        in_scratch = False
+                # p ← p − lr·grad: scale into scratch (in place when the update
+                # already lives in one) and subtract without a temporary.
+                if in_scratch:
+                    np.multiply(grad, lr, out=grad)
+                    p.data -= grad
                 else:
-                    grad = velocity
-            p.data -= self.lr * grad
+                    np.multiply(grad, lr, out=buf)
+                    p.data -= buf
         self.n_steps += 1
 
     def set_lr(self, lr: float) -> None:
@@ -92,4 +132,5 @@ class BankSGD:
 
     def reset_momentum(self) -> None:
         """Clear the stacked momentum buffers (block-momentum averaging step)."""
-        self._velocity = {name: None for name in self.bank.params}
+        for velocity in self._velocity.values():
+            velocity.fill(0.0)

@@ -72,12 +72,16 @@ class SweepReport:
         return self.store.cells(done)
 
 
-def _execute_cell(payload: dict[str, Any]) -> tuple[str, "dict | None", "str | None"]:
+def _execute_cell(
+    payload: dict[str, Any], backend_handle=None
+) -> tuple[str, "dict | None", "str | None"]:
     """Run one cell in the current process; returns ``(address, result, error)``.
 
     Module-level (picklable) so it works under every multiprocessing start
     method.  Imports are local so a spawned interpreter pays them lazily and
-    the registries repopulate inside the worker.
+    the registries repopulate inside the worker.  ``backend_handle`` (serial
+    path only — handles do not cross process boundaries) lets consecutive
+    cells reuse one sharded process pool; the runner owns its lifetime.
     """
     from repro.experiments.configs import ExperimentConfig
     from repro.experiments.harness import run_experiment
@@ -87,7 +91,7 @@ def _execute_cell(payload: dict[str, Any]) -> tuple[str, "dict | None", "str | N
         # The config dict already carries the cell's run seed (the spec folds
         # derived seeds back in), so the address is the hash of what runs.
         config = ExperimentConfig.from_dict(payload["config"])
-        runs = run_experiment(config)
+        runs = run_experiment(config, backend_handle=backend_handle)
         return address, runs.to_payload(), None
     except Exception:  # noqa: BLE001 - one bad cell must not sink the campaign
         return address, None, traceback.format_exc()
@@ -217,8 +221,36 @@ class SweepRunner:
             return
         jobs = min(self.jobs, len(payloads))
         if jobs == 1:
-            for payload in payloads:
-                yield _execute_cell(payload)
+            # Serial path: when every pending cell selects its backend the
+            # same way, one BackendHandle spans the whole campaign, so a
+            # sharded pool spawned by the first cell is rebuilt in place by
+            # each subsequent one (byte-identical results either way; see
+            # repro.distributed.reuse).  Mixed-backend campaigns fall back
+            # to the per-lineup handle run_experiment creates itself.
+            from repro.distributed.reuse import BackendHandle
+
+            base = pending[0].config
+            layout = (base.backend, base.backend_shards, base.auto_shard_threshold)
+            shared = all(
+                (c.config.backend, c.config.backend_shards, c.config.auto_shard_threshold)
+                == layout
+                for c in pending
+            )
+            handle = (
+                BackendHandle(
+                    base.backend,
+                    n_shards=base.backend_shards,
+                    auto_shard_threshold=base.auto_shard_threshold,
+                )
+                if shared
+                else None
+            )
+            try:
+                for payload in payloads:
+                    yield _execute_cell(payload, backend_handle=handle)
+            finally:
+                if handle is not None:
+                    handle.close()
             return
         ctx = multiprocessing.get_context(self.mp_context)
         with ctx.Pool(processes=jobs) as pool:

@@ -119,6 +119,14 @@ def _resolve_axis(name: str, value: Any) -> dict[str, Any]:
 #: the fields existed) as pure cache hits.
 HASH_EXCLUDED_FIELDS = ("name", "backend_shards", "auto_shard_threshold")
 
+#: Fields elided from the content address only at their listed default.
+#: Unlike :data:`HASH_EXCLUDED_FIELDS` these *can* change the trajectory
+#: (``bank_dtype="float32"`` is a genuinely different computation and must
+#: address separately), but at the byte-identity-preserving default they are
+#: dropped so configs hashed before the field existed keep their addresses —
+#: stores populated by older versions stay pure cache hits.
+HASH_DEFAULT_ELIDED_FIELDS = {"bank_dtype": "float64"}
+
 
 def cell_hash(config: ExperimentConfig) -> str:
     """Content address of a cell: hash of its canonical config dict.
@@ -126,10 +134,16 @@ def cell_hash(config: ExperimentConfig) -> str:
     The fields in :data:`HASH_EXCLUDED_FIELDS` are excluded — they affect
     presentation or process layout only, never the trajectory, so cells
     reaching the same physics share an address (and its stored result).
+    Fields in :data:`HASH_DEFAULT_ELIDED_FIELDS` are dropped only when they
+    hold their trajectory-preserving default, so newly added knobs don't
+    invalidate previously stored cells.
     """
     payload = config.to_dict()
     for field_name in HASH_EXCLUDED_FIELDS:
         payload.pop(field_name, None)
+    for field_name, default in HASH_DEFAULT_ELIDED_FIELDS.items():
+        if payload.get(field_name) == default:
+            payload.pop(field_name, None)
     canonical = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:HASH_LENGTH]
 

@@ -142,6 +142,67 @@ def test_det002_scope_excludes_presentation_code(tmp_path):
     assert report.ok
 
 
+def test_det002_covers_utils_with_suppression_escape(tmp_path):
+    """utils/ is in scope (the profiler lives there); suppressions still work."""
+    flagged = "import time\nstart = time.perf_counter()\n"
+    sanctioned = (
+        "import time\n"
+        "start = time.perf_counter()  # repro: ignore[DET002] profiler wall time\n"
+    )
+    report = _run(
+        tmp_path,
+        {"repro/utils/timing.py": flagged, "repro/utils/prof.py": sanctioned},
+        select=["DET002"],
+    )
+    assert _rules_of(report) == ["DET002"]
+    assert report.findings[0].file.endswith("repro/utils/timing.py")
+    assert report.suppressed == 1
+
+
+# -- PERF001 -----------------------------------------------------------------
+
+
+def test_perf001_flags_float64_coercion_in_bank_forward(tmp_path):
+    source = (
+        "import numpy as np\n"
+        "class Layer:\n"
+        "    def bank_forward(self, x, params, prefix=''):\n"
+        "        data = np.asarray(x, dtype=float)\n"
+        "        return data\n"
+    )
+    report = _run(tmp_path, {"repro/nn/x.py": source}, select=["PERF001"])
+    (finding,) = report.findings
+    assert finding.rule == "PERF001"
+    assert finding.line == 4
+    assert "bank_forward" in finding.message
+
+
+def test_perf001_flags_np_float64_in_step(tmp_path):
+    source = (
+        "import numpy as np\n"
+        "class Opt:\n"
+        "    def step(self):\n"
+        "        g = np.array(self.grad, dtype=np.float64)\n"
+        "        self.p -= g\n"
+    )
+    report = _run(tmp_path, {"repro/optim/x.py": source}, select=["PERF001"])
+    assert _rules_of(report) == ["PERF001"]
+
+
+def test_perf001_allows_coercion_outside_hot_paths_and_dtype_preserving_calls(tmp_path):
+    source = (
+        "import numpy as np\n"
+        "def broadcast_state(flat):\n"
+        "    return np.asarray(flat, dtype=float)\n"
+        "class Layer:\n"
+        "    def bank_forward(self, x, params, prefix=''):\n"
+        "        data = np.ascontiguousarray(x)\n"
+        "        return np.asarray(data)\n"
+    )
+    report = _run(tmp_path, {"repro/nn/x.py": source}, select=["PERF001"])
+    assert report.ok
+
+
 # -- SPAWN001 ----------------------------------------------------------------
 
 

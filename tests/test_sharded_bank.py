@@ -219,6 +219,22 @@ class TestShardedBackendSurface:
         with pytest.raises(RuntimeError, match="closed"):
             backend.local_period(1)
 
+    def test_deferred_broadcast_ack_error_surfaces_on_next_command(self):
+        # broadcast/set_lr/reset_momentum acks are fire-and-forget; a shard
+        # failure must still surface — on the next synchronizing command,
+        # attributed to the command that actually failed.
+        cluster = _cluster("sharded", _registry_model_fn("mlp"), 4)
+        try:
+            backend = cluster.backend
+            backend.broadcast_state(np.zeros(3))  # wrong length, returns at once
+            with pytest.raises(RuntimeError, match="deferred 'broadcast'"):
+                backend.get_stacked_states()
+            # The drain consumed every queued reply, so the pool protocol is
+            # back in sync and the backend keeps working.
+            assert len(backend.get_stacked_states()) == 4
+        finally:
+            cluster.close()
+
     def test_context_manager_closes_pool(self):
         with _cluster("sharded", _registry_model_fn("mlp"), 4) as cluster:
             procs = list(cluster.backend._procs)
