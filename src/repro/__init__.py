@@ -66,6 +66,7 @@ from repro.experiments import (
     run_experiment,
     run_method,
 )
+from repro.obs import MetricsRegistry, Tracer, read_trace
 from repro.optim import SGD, BlockMomentum, ConstantLR, MultiStepLR, TauGatedStepLR
 from repro.sweep import ResultStore, SweepRunner, SweepSpec, grid, paired, run_sweep
 from repro.runtime import (
@@ -117,6 +118,9 @@ __all__ = [
     "RuntimeModel",
     "RuntimeSimulator",
     "speedup_constant_delays",
+    "MetricsRegistry",
+    "Tracer",
+    "read_trace",
     "RunRecord",
     "RunStore",
     "SweepSpec",

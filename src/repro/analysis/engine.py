@@ -46,6 +46,7 @@ def _populate_rules() -> None:
     import repro.analysis.rules_bank  # noqa: F401  (registration side effect)
     import repro.analysis.rules_determinism  # noqa: F401
     import repro.analysis.rules_hash  # noqa: F401
+    import repro.analysis.rules_obs  # noqa: F401
     import repro.analysis.rules_perf  # noqa: F401
     import repro.analysis.rules_spawn  # noqa: F401
     import repro.analysis.rules_style  # noqa: F401

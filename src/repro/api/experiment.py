@@ -57,6 +57,8 @@ class Experiment:
             self._config = make_config(config)
         if overrides:
             self._config = self._config.with_overrides(**overrides)
+        self._trace_path: str | None = None
+        self._trace_profile = False
 
     # -- component selection ----------------------------------------------
 
@@ -148,6 +150,21 @@ class Experiment:
         self._config = self._config.with_overrides(**overrides)
         return self
 
+    def trace(self, path: str, profile: bool = False) -> "Experiment":
+        """Record a structured event trace of :meth:`run` to ``path``.
+
+        The run executes under a :class:`repro.obs.tracer.Tracer` and the
+        resulting ``trace.jsonl`` is flushed to ``path``; inspect it with
+        ``python -m repro.obs summary/export/diff``.  With ``profile=True``
+        the per-op profiler runs alongside and its rows are bridged into the
+        trace as ``profile_op`` events.  Tracing is runtime state, not a
+        config field: it never changes what the experiment computes, stores,
+        or hashes.
+        """
+        self._trace_path = str(path)
+        self._trace_profile = bool(profile)
+        return self
+
     # -- materialization --------------------------------------------------
 
     def build(self) -> ExperimentConfig:
@@ -168,7 +185,14 @@ class Experiment:
         """Run the full method lineup; returns the :class:`RunStore`."""
         from repro.experiments.harness import run_experiment
 
-        return run_experiment(self.build(), record_discrepancy=record_discrepancy)
+        if self._trace_path is None:
+            return run_experiment(self.build(), record_discrepancy=record_discrepancy)
+        from repro.obs.tracer import Tracer
+
+        with Tracer(profile=self._trace_profile) as tracer:
+            store = run_experiment(self.build(), record_discrepancy=record_discrepancy)
+        tracer.flush(self._trace_path)
+        return store
 
     def sweep(
         self,

@@ -33,6 +33,8 @@ from repro.distributed.cluster import SimulatedCluster
 from repro.nn.layers import Module
 from repro.nn.losses import accuracy as accuracy_metric
 from repro.nn.tensor import no_grad
+from repro.obs.metrics import counter_inc
+from repro.obs.tracer import span
 from repro.optim.lr_schedules import ConstantLR, LRSchedule
 from repro.utils.logging import get_logger
 from repro.utils.results import MetricPoint, RunRecord
@@ -200,8 +202,10 @@ class PASGDTrainer:
         )
 
         # Initial evaluation at t = 0 so every curve starts from the same point.
-        initial_loss = self._eval_train_loss(fallback_loss=float("nan"))
-        initial_acc = self._eval_test_accuracy()
+        with span("eval", clock=self.cluster.clock, round=0):
+            initial_loss = self._eval_train_loss(fallback_loss=float("nan"))
+            initial_acc = self._eval_test_accuracy()
+        counter_inc("evals_total")
         record.log(
             MetricPoint(
                 iteration=0,
@@ -225,18 +229,27 @@ class PASGDTrainer:
             lr = self.lr_schedule.lr_at(self._current_epoch(), tau=tau)
             self.cluster.set_lr(lr)
 
-            period_loss = self.cluster.run_local_period(tau)
+            # One PASGD round: τ local steps, then the averaging collective.
+            # The span's virtual duration is the round's simulated cost.
+            with span("round", clock=self.cluster.clock, round=rounds + 1, tau=tau, lr=lr):
+                period_loss = self.cluster.run_local_period(tau)
 
-            extra: dict[str, float] = {}
-            if cfg.record_discrepancy:
-                extra["model_discrepancy"] = self.cluster.model_discrepancy()
+                extra: dict[str, float] = {}
+                if cfg.record_discrepancy:
+                    extra["model_discrepancy"] = self.cluster.model_discrepancy()
 
-            self.cluster.average_models()
+                self.cluster.average_models()
             rounds += 1
+            counter_inc("rounds_total")
 
             if rounds % cfg.eval_every_rounds == 0:
-                train_loss = self._eval_train_loss(fallback_loss=period_loss)
-                test_acc = self._eval_test_accuracy()
+                # Evaluation is free on the virtual clock, so the span's
+                # virtual duration is 0 while its wall duration is not —
+                # exactly the divergence the dual-clock trace surfaces.
+                with span("eval", clock=self.cluster.clock, round=rounds):
+                    train_loss = self._eval_train_loss(fallback_loss=period_loss)
+                    test_acc = self._eval_test_accuracy()
+                counter_inc("evals_total")
             else:
                 train_loss = period_loss
                 test_acc = float("nan")

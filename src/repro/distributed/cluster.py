@@ -31,6 +31,8 @@ from repro.distributed.backends import WorkerBackend
 from repro.distributed.events import CommunicationEvent, EventLog, LocalPeriodEvent
 from repro.distributed.reuse import BackendHandle, resolve_backend
 from repro.nn.layers import Module
+from repro.obs.metrics import counter_inc, gauge_set, observe_many
+from repro.obs.tracer import span
 from repro.optim.block_momentum import BlockMomentum
 from repro.runtime.simulator import RuntimeSimulator
 from repro.utils.seeding import SeedSequence
@@ -190,6 +192,7 @@ class SimulatedCluster:
         self.total_local_iterations = 0
         self.communication_rounds = 0
         self.current_lr = lr
+        gauge_set("workers", n_workers)
 
     @staticmethod
     def _resolve_backend(
@@ -247,10 +250,20 @@ class SimulatedCluster:
         if tau < 1:
             raise ValueError(f"tau must be >= 1, got {tau}")
         start = self.clock.now
-        with profiled("cluster.local_period"):
-            losses = self._backend.local_period(tau)
-        timing = self.runtime.sample_local_period(tau)
-        self.clock.advance(timing.compute_time)
+        # The span closes after the clock advance so its virtual duration is
+        # the sampled straggler-bound compute time of the period.
+        with span("local_steps", clock=self.clock, tau=tau, backend=self.backend_name):
+            with profiled("cluster.local_period"):
+                losses = self._backend.local_period(tau)
+            timing = self.runtime.sample_local_period(tau)
+            self.clock.advance(timing.compute_time)
+        counter_inc("local_steps_total", tau)
+        # Straggler wait per worker: how long each replica idled for the
+        # slowest one, in virtual seconds (a determinism-safe histogram).
+        observe_many(
+            "straggler_wait_virtual_seconds",
+            timing.compute_time - timing.per_worker_compute,
+        )
         self.total_local_iterations += tau
         mean_loss = float(np.mean(losses))
         self.events.append(
@@ -284,20 +297,27 @@ class SimulatedCluster:
         synchronized flat parameter vector.
         """
         start = self.clock.now
-        with profiled("cluster.average"):
-            states = self._backend.get_stacked_states()
-            averaged = self._average(states)
-            if self.block_momentum is not None:
-                averaged = self.block_momentum.apply(
-                    self._synchronized_params, averaged, self.current_lr
-                )
-            self._backend.broadcast_state(averaged)
-            if self.block_momentum is not None:
-                self._backend.reset_momentum()
-            self._synchronized_params = averaged.copy()
+        # "communicate" spans the whole collective (virtual duration = the
+        # sampled network delay); "average" nests inside it and times just
+        # the arithmetic, which is free on the virtual clock.
+        with span("communicate", clock=self.clock, round=self.communication_rounds + 1):
+            with span("average", clock=self.clock, n_workers=self.n_workers):
+                with profiled("cluster.average"):
+                    states = self._backend.get_stacked_states()
+                    averaged = self._average(states)
+                    if self.block_momentum is not None:
+                        averaged = self.block_momentum.apply(
+                            self._synchronized_params, averaged, self.current_lr
+                        )
+                    self._backend.broadcast_state(averaged)
+                    if self.block_momentum is not None:
+                        self._backend.reset_momentum()
+                    self._synchronized_params = averaged.copy()
+            counter_inc("bytes_averaged_total", states.nbytes)
 
-        duration = self.runtime.sample_communication()
-        self.clock.advance(duration)
+            duration = self.runtime.sample_communication()
+            self.clock.advance(duration)
+        counter_inc("comm_rounds_total")
         self.communication_rounds += 1
         self.events.append(
             CommunicationEvent(start_time=start, duration=duration, round_index=self.communication_rounds)

@@ -55,6 +55,8 @@ from repro.data.synthetic import Dataset
 from repro.distributed.backends import BackendUnsupported, WorkerBackend
 from repro.nn.bank import attach_bank_streams, bank_compatible
 from repro.nn.layers import Module
+from repro.obs.metrics import observed
+from repro.obs.tracer import instant, span
 from repro.utils.seeding import check_random_state
 from repro.utils.timer import profiled
 
@@ -502,6 +504,7 @@ class ShardedBank(WorkerBackend):
                         f"shard process {index} failed during deferred "
                         f"{past_op!r}:\n{detail}"
                     )
+                instant("shard_rpc", op=past_op, shard=index, phase="drain_ack")
         return errors
 
     def _request_all(self, op: str, *args) -> list:
@@ -525,12 +528,14 @@ class ShardedBank(WorkerBackend):
         # measures the full round-trip (serialize, compute, deserialize) as
         # the parent observes it.  Deferred ops only pay serialization here;
         # their wait lands in the next synchronizing op's scope.
-        with profiled(f"shard_rpc.{op}"):
+        deferred = op in _DEFERRED_ACK_OPS
+        with span("shard_rpc", op=op, shard="all", pooled=self.pooled, deferred=deferred), \
+                observed("shard_rpc_seconds"), profiled(f"shard_rpc.{op}"):
             if self._servers is not None:
                 return [server.execute(op, args) for server in self._servers]
             for conn in self._conns:
                 conn.send((op, args))
-            if op in _DEFERRED_ACK_OPS:
+            if deferred:
                 self._deferred.append(op)
                 return [None] * len(self._conns)
             errors = self._drain_deferred_acks()
@@ -546,7 +551,8 @@ class ShardedBank(WorkerBackend):
 
     def _request_shard(self, shard_index: int, op: str, *args):
         self._ensure_open()
-        with profiled(f"shard_rpc.{op}"):
+        with span("shard_rpc", op=op, shard=shard_index, pooled=self.pooled, deferred=False), \
+                observed("shard_rpc_seconds"), profiled(f"shard_rpc.{op}"):
             if self._servers is not None:
                 return self._servers[shard_index].execute(op, args)
             conn = self._conns[shard_index]

@@ -17,6 +17,13 @@ The experiment is composed declaratively from the ``repro.api`` registries:
   bandwidth);
 * ``--profile`` runs the experiment under the per-op profiler and prints the
   sorted timing table (plus machine-readable JSON) after the summary;
+* ``--trace PATH`` records a structured event trace to ``PATH`` (inspect,
+  export, or diff it with ``python -m repro.obs``); combined with
+  ``--profile`` the per-op rows are bridged into the trace;
+* ``--metrics`` collects a run-metrics snapshot (counters, gauges, latency
+  histograms) and prints it; with ``--save`` it is embedded in the saved
+  store, and with ``--sweep`` each executed cell gets a ``metrics.json``
+  sidecar next to its result;
 * ``--set key=value`` (repeatable) overrides any config field, with values
   parsed as Python literals (``--set n_workers=4 --set delay=pareto``);
 * ``--list {configs,models,datasets,delays,schedules,scalings,lr_schedules,backends,sweeps}``
@@ -96,6 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="profile per-op time (im2col, GEMM, optimizer, averaging, "
                              "shard RPC, ...) and print the table after the run")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a structured event trace of the run to PATH "
+                             "(trace.jsonl; inspect with python -m repro.obs); with "
+                             "--profile the per-op rows are bridged into the trace")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect run metrics (rounds, bytes averaged, RPC latency "
+                             "histograms, ...) and print the snapshot; with --save the "
+                             "snapshot is embedded in the saved store, and with --sweep "
+                             "each cell gets a metrics.json sidecar in the store")
     parser.add_argument("--set", dest="overrides", action="append", default=[],
                         type=key_value_parser("--set"), metavar="KEY=VALUE",
                         help="override any config field (repeatable), e.g. --set n_workers=4")
@@ -187,7 +203,20 @@ def _run_sweep(args: argparse.Namespace, parser_defaults: argparse.Namespace) ->
     store = ResultStore(args.store)
     print(f"running sweep {spec.name!r}: {spec.n_cells} cells over "
           f"axes {dict(spec.axes)}, jobs={args.jobs}, store={store.root}")
-    report = SweepRunner(store, jobs=args.jobs, progress=print).run(spec)
+    runner = SweepRunner(
+        store, jobs=args.jobs, progress=print, collect_metrics=args.metrics
+    )
+    if args.trace is not None:
+        # The parent-side campaign trace: per-cell spans on the serial path,
+        # outcome instants either way.  Telemetry is runtime state — stored
+        # cell bytes (and their content addresses) are unaffected.
+        from repro.obs.tracer import Tracer
+
+        with Tracer() as tracer:
+            report = runner.run(spec)
+        print(f"wrote trace ({len(tracer.events)} events) to {tracer.flush(args.trace)}")
+    else:
+        report = runner.run(spec)
     for address, error in report.failed.items():
         print(f"\ncell {address} FAILED:\n{error}")
 
@@ -243,14 +272,26 @@ def main(argv: list[str] | None = None) -> int:
           f"budget={config.wall_time_budget:.0f}s, lr={config.lr}, "
           f"backend={config.backend}")
 
-    if args.profile:
-        from repro.utils.timer import Profiler
+    # Telemetry composition: --trace owns the profiler when both are given
+    # (its rows are bridged into the trace); --metrics runs a registry whose
+    # snapshot is printed and, with --save, embedded in the saved store.
+    from contextlib import ExitStack
 
-        profiler = Profiler()
-        with profiler:
-            store = run_experiment(config)
-    else:
-        profiler = None
+    tracer = registry = profiler = None
+    with ExitStack() as stack:
+        if args.trace is not None:
+            from repro.obs.tracer import Tracer
+
+            tracer = stack.enter_context(Tracer(profile=args.profile))
+            profiler = tracer.profiler
+        elif args.profile:
+            from repro.utils.timer import Profiler
+
+            profiler = stack.enter_context(Profiler())
+        if args.metrics:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = stack.enter_context(MetricsRegistry())
         store = run_experiment(config)
 
     for record in store:
@@ -287,6 +328,14 @@ def main(argv: list[str] | None = None) -> int:
         print(profiler.table())
         print()
         print(profiler.to_json())
+
+    if tracer is not None:
+        print(f"\nwrote trace ({len(tracer.finish())} events) to {tracer.flush(args.trace)}")
+    if registry is not None:
+        snapshot = registry.snapshot()
+        store.metrics = snapshot
+        print("\nmetrics snapshot:")
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
 
     if args.save:
         store.save(args.save)

@@ -36,6 +36,7 @@ from repro.data.synthetic import Dataset
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.reuse import BackendHandle
 from repro.experiments.configs import ExperimentConfig
+from repro.obs.tracer import span
 from repro.optim.block_momentum import BlockMomentum
 from repro.optim.lr_schedules import LRSchedule
 from repro.runtime.distributions import DelayDistribution
@@ -335,7 +336,14 @@ def run_method(
             name=method.label,
             rng=seeds.generator(),
         )
-        record = trainer.train()
+        with span(
+            "method",
+            clock=cluster.clock,
+            method=method.label,
+            experiment=config.name,
+            backend=cluster.backend_name,
+        ):
+            record = trainer.train()
         record.config.update(
             {
                 "experiment": config.name,
@@ -393,13 +401,14 @@ def run_experiment(
             )
             store.add(record)
 
-    if backend_handle is not None:
-        _run_lineup(backend_handle)
-    else:
-        with BackendHandle(
-            config.backend,
-            n_shards=config.backend_shards,
-            auto_shard_threshold=config.auto_shard_threshold,
-        ) as handle:
-            _run_lineup(handle)
+    with span("experiment", experiment=config.name, n_methods=len(resolved)):
+        if backend_handle is not None:
+            _run_lineup(backend_handle)
+        else:
+            with BackendHandle(
+                config.backend,
+                n_shards=config.backend_shards,
+                auto_shard_threshold=config.auto_shard_threshold,
+            ) as handle:
+                _run_lineup(handle)
     return store

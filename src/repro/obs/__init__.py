@@ -1,0 +1,54 @@
+"""repro.obs — structured run telemetry.
+
+Three layers over one event stream:
+
+* :mod:`repro.obs.tracer` — typed span/instant events with dual
+  virtual/wall timestamps, flushed to deterministic ``trace.jsonl``.
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with one
+  JSON-compatible snapshot, persisted by the run/sweep stores.
+* :mod:`repro.obs.tooling` (and ``python -m repro.obs``) — summary tables,
+  Chrome/Perfetto export, and trace diffing for equivalence triage.
+
+All emission helpers are zero-overhead while disabled, so they live in the
+execution stack unconditionally.
+"""
+
+from repro.obs.events import EVENT_NAMES, validate_event_name
+from repro.obs.metrics import (
+    MetricsRegistry,
+    counter_inc,
+    gauge_set,
+    observe,
+    observed,
+)
+from repro.obs.tooling import diff_traces, summarize_trace, summary_table, to_chrome_trace
+from repro.obs.tracer import (
+    WALL_FIELDS,
+    Tracer,
+    instant,
+    read_trace,
+    span,
+    strip_wall_fields,
+    trace_lines,
+)
+
+__all__ = [
+    "EVENT_NAMES",
+    "MetricsRegistry",
+    "Tracer",
+    "WALL_FIELDS",
+    "counter_inc",
+    "diff_traces",
+    "gauge_set",
+    "instant",
+    "observe",
+    "observed",
+    "read_trace",
+    "span",
+    "strip_wall_fields",
+    "summarize_trace",
+    "summary_table",
+    "to_chrome_trace",
+    "trace_lines",
+    "validate_event_name",
+]

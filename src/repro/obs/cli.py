@@ -1,0 +1,106 @@
+"""``python -m repro.obs`` — trace tooling from the command line.
+
+Three verbs over ``trace.jsonl`` files produced by ``--trace``:
+
+* ``summary TRACE`` — per-event-type rollup table.
+* ``export TRACE --format chrome [-o OUT]`` — Chrome/Perfetto trace JSON.
+* ``diff A B`` — compare two traces' deterministic projections; exits 0 when
+  identical modulo wall time, 1 when they differ.
+
+Exit codes: 0 success / traces identical, 1 traces differ, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.tooling import diff_traces, summary_table, to_chrome_trace
+from repro.obs.tracer import read_trace
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> list[dict]:
+    try:
+        return read_trace(path)
+    except FileNotFoundError:
+        raise SystemExit(f"repro.obs: trace file not found: {path}")
+    except ValueError as err:
+        raise SystemExit(f"repro.obs: {err}")
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    events = _load(args.trace)
+    print(f"trace: {args.trace} ({len(events)} events)")
+    print(summary_table(events))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    events = _load(args.trace)
+    document = to_chrome_trace(events)
+    payload = json.dumps(document, sort_keys=True, indent=2) + "\n"
+    if args.output is None:
+        sys.stdout.write(payload)
+    else:
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(payload)
+        print(
+            f"wrote {len(document['traceEvents'])} trace events to {output} "
+            f"(load in chrome://tracing or https://ui.perfetto.dev)"
+        )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    diff = diff_traces(_load(args.trace_a), _load(args.trace_b))
+    print(diff.summary())
+    return 0 if diff.identical else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect, export, and diff repro trace.jsonl files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser("summary", help="per-event-type rollup table")
+    p_summary.add_argument("trace", help="path to a trace.jsonl file")
+    p_summary.set_defaults(func=_cmd_summary)
+
+    p_export = sub.add_parser("export", help="convert a trace for external viewers")
+    p_export.add_argument("trace", help="path to a trace.jsonl file")
+    p_export.add_argument(
+        "--format", choices=("chrome",), default="chrome",
+        help="output format (chrome: Chrome trace-event / Perfetto JSON)",
+    )
+    p_export.add_argument(
+        "-o", "--output", default=None,
+        help="write here instead of stdout (parents created)",
+    )
+    p_export.set_defaults(func=_cmd_export)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two traces' deterministic projections",
+    )
+    p_diff.add_argument("trace_a", help="first trace.jsonl")
+    p_diff.add_argument("trace_b", help="second trace.jsonl")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except SystemExit as err:
+        if isinstance(err.code, str):
+            print(err.code, file=sys.stderr)
+            return 2
+        raise

@@ -1,0 +1,78 @@
+"""The frozen event-name registry behind every trace.
+
+Traces are only diffable (``python -m repro.obs diff``) and only safe to
+build tooling on if the set of event names is a *schema*, not a convention:
+two runs of different code versions must still agree on what a ``"round"``
+or a ``"shard_rpc"`` is.  Every name a :class:`~repro.obs.tracer.Tracer`
+will accept therefore lives here, in one frozen set — enforced at runtime by
+the tracer itself and statically by the ``OBS001`` analysis rule, which
+cross-checks every ``span(...)``/``instant(...)`` call site in ``src/``
+against this registry (the same machinery that keeps the bank-equivalence
+matrix honest).
+
+Adding an event type is deliberate: add the constant here, and every
+consumer (summary tables, the Chrome exporter, the diff tool) picks it up.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EVENT_NAMES",
+    "EXPERIMENT",
+    "METHOD",
+    "ROUND",
+    "LOCAL_STEPS",
+    "COMMUNICATE",
+    "AVERAGE",
+    "EVAL",
+    "SHARD_RPC",
+    "SWEEP_CELL",
+    "PROFILE_OP",
+    "validate_event_name",
+]
+
+#: One full ``run_experiment`` invocation (all methods on one workload).
+EXPERIMENT = "experiment"
+#: One method's complete training run within an experiment.
+METHOD = "method"
+#: One PASGD round: τ local steps plus the averaging collective.
+ROUND = "round"
+#: The compute phase of a round: τ local steps at every worker.
+LOCAL_STEPS = "local_steps"
+#: The communication phase of a round (virtual clock: the sampled delay).
+COMMUNICATE = "communicate"
+#: The averaging arithmetic itself (wall clock; nested inside COMMUNICATE).
+AVERAGE = "average"
+#: One evaluation of the synchronized model (free in virtual time).
+EVAL = "eval"
+#: One parent-observed RPC round-trip to the sharded backend's pool.
+SHARD_RPC = "shard_rpc"
+#: One sweep-campaign cell, tagged with its content address.
+SWEEP_CELL = "sweep_cell"
+#: One aggregated per-op profiler row bridged into the trace at flush time.
+PROFILE_OP = "profile_op"
+
+#: Every event name a tracer will accept.  Frozen: tooling and the OBS001
+#: analysis rule treat this as the trace schema.
+EVENT_NAMES = frozenset({
+    "experiment",
+    "method",
+    "round",
+    "local_steps",
+    "communicate",
+    "average",
+    "eval",
+    "shard_rpc",
+    "sweep_cell",
+    "profile_op",
+})
+
+
+def validate_event_name(name: str) -> str:
+    """Return ``name`` if registered, else raise with the full registry."""
+    if name not in EVENT_NAMES:
+        raise ValueError(
+            f"unknown trace event name {name!r}; registered names: "
+            f"{sorted(EVENT_NAMES)} (add new event types to repro.obs.events)"
+        )
+    return name

@@ -1,0 +1,312 @@
+"""The run-metrics registry: counters, gauges, histograms, one snapshot API.
+
+Where the tracer answers *what happened when*, the metrics registry answers
+*how much in total*: rounds run, bytes moved by the averaging collective,
+how shard-RPC latencies distribute, how long workers wait for stragglers.
+Emission sites use the module-level helpers (:func:`counter_inc`,
+:func:`gauge_set`, :func:`observe`, :func:`observed`), which cost one
+attribute read when no registry is active — the same zero-overhead-when-
+disabled pattern as :func:`repro.utils.timer.profiled` and
+:func:`repro.obs.tracer.span` — so the instrumentation stays in the
+execution stack unconditionally.
+
+:meth:`MetricsRegistry.snapshot` returns one JSON-compatible dict (sorted
+keys all the way down) that :class:`~repro.utils.results.RunStore` and
+:class:`~repro.sweep.store.ResultStore` persist alongside results.  Metric
+values fall into two determinism classes: counts and virtual-time histograms
+(``rounds_total``, ``straggler_wait_virtual_seconds``) are pure functions of
+the seeded run, while wall-time histograms (``shard_rpc_seconds``) are not —
+which is why sweep stores persist snapshots as a *sidecar* file outside the
+byte-identity contract (see ``ResultStore.put_metrics``).
+
+The kernel-plan cache is owned by :mod:`repro.nn.layers`; its counters are
+bridged into every snapshot (``plan_cache_hits`` / ``plan_cache_misses``) so
+one snapshot answers "did the im2col plans actually get reused?".
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from contextlib import nullcontext
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter_inc",
+    "gauge_set",
+    "observe",
+    "observe_many",
+    "observed",
+]
+
+#: Default histogram bucket upper bounds, in seconds: spans 10 µs to 100 s,
+#: one decade per bucket, plus the implicit +inf overflow bucket.
+DEFAULT_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
+
+#: Metrics the execution stack emits, pre-registered so every snapshot has
+#: the same schema whether or not a given run exercised the metric.
+STANDARD_METRICS = (
+    ("counter", "rounds_total"),
+    ("counter", "comm_rounds_total"),
+    ("counter", "local_steps_total"),
+    ("counter", "evals_total"),
+    ("counter", "bytes_averaged_total"),
+    ("counter", "sweep_cells_executed_total"),
+    ("counter", "sweep_cells_cached_total"),
+    ("counter", "sweep_cells_failed_total"),
+    ("gauge", "workers"),
+    ("histogram", "shard_rpc_seconds"),
+    ("histogram", "straggler_wait_virtual_seconds"),
+)
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got increment {amount}")
+        self.value += amount
+
+    def to_dict(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    Buckets are cumulative-style upper bounds (seconds by default); a sample
+    lands in the first bucket whose bound is >= the value, overflowing into
+    the implicit ``+inf`` bucket.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: tuple = DEFAULT_BUCKETS):
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.buckets) + 1)  # +1: the +inf overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # First bucket whose bound is >= value; past the last bound lands in
+        # the +inf overflow slot (index len(buckets)).
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def to_dict(self) -> dict:
+        labels = [f"le_{b:g}" for b in self.buckets] + ["le_inf"]
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "buckets": dict(zip(labels, self.counts)),
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with one snapshot API.
+
+    One registry is active per process at a time (``enable()`` / ``with
+    MetricsRegistry() as m:``); emission sites use the module-level helpers
+    so a disabled registry costs one attribute read.  The standard metric
+    set (:data:`STANDARD_METRICS`) is pre-registered so snapshots have a
+    stable schema; helpers auto-register unseen names with the kind the
+    helper implies, so third-party components can emit without ceremony.
+    """
+
+    #: The process-wide active registry, or ``None`` (metrics disabled).
+    _active: "MetricsRegistry | None" = None
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._kinds: dict[str, str] = {}
+        self._prev: "MetricsRegistry | None" = None
+        for kind, name in STANDARD_METRICS:
+            self._register(name, kind)
+
+    # -- activation ---------------------------------------------------------
+    def enable(self) -> "MetricsRegistry":
+        self._prev = MetricsRegistry._active
+        MetricsRegistry._active = self
+        return self
+
+    def disable(self) -> "MetricsRegistry":
+        # Restore whatever was active before enable(), so nested scopes
+        # (a per-cell registry inside an outer run registry) unwind cleanly.
+        if MetricsRegistry._active is self:
+            MetricsRegistry._active = self._prev
+        return self
+
+    def __enter__(self) -> "MetricsRegistry":
+        return self.enable()
+
+    def __exit__(self, *exc) -> None:
+        self.disable()
+
+    # -- registration and access --------------------------------------------
+    def _register(self, name: str, kind: str):
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if self._kinds[name] != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {self._kinds[name]}, "
+                    f"not a {kind}"
+                )
+            return metric
+        metric = _KINDS[kind]()
+        self._metrics[name] = metric
+        self._kinds[name] = kind
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._register(name, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._register(name, "gauge")
+
+    def histogram(self, name: str) -> Histogram:
+        return self._register(name, "histogram")
+
+    # -- snapshot ------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-compatible snapshot of every metric, plus bridged gauges.
+
+        The kernel-plan cache counters from
+        :func:`repro.nn.layers.kernel_plan_cache_stats` are read at snapshot
+        time so the one dict answers both "what did the run do" and "did the
+        hot-path caches work".
+        """
+        from repro.nn.layers import kernel_plan_cache_stats
+
+        counters, gauges, histograms = {}, {}, {}
+        for name in sorted(self._metrics):
+            kind = self._kinds[name]
+            value = self._metrics[name].to_dict()
+            {"counter": counters, "gauge": gauges, "histogram": histograms}[kind][name] = value
+        plan_stats = kernel_plan_cache_stats()
+        gauges["plan_cache_hits"] = float(plan_stats["hits"])
+        gauges["plan_cache_misses"] = float(plan_stats["misses"])
+        gauges["plan_cache_conv_plans"] = float(plan_stats["conv_plans"])
+        gauges["plan_cache_pool_plans"] = float(plan_stats["pool_plans"])
+        return {
+            "version": 1,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(metrics={len(self._metrics)}, "
+            f"active={MetricsRegistry._active is self})"
+        )
+
+
+# -- module-level emission helpers (no-ops while no registry is active) -------
+
+def counter_inc(name: str, amount: float = 1.0) -> None:
+    """Increment counter ``name`` on the active registry, or do nothing."""
+    registry = MetricsRegistry._active
+    if registry is not None:
+        registry.counter(name).inc(amount)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set gauge ``name`` on the active registry, or do nothing."""
+    registry = MetricsRegistry._active
+    if registry is not None:
+        registry.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` on the active registry."""
+    registry = MetricsRegistry._active
+    if registry is not None:
+        registry.histogram(name).observe(value)
+
+
+def observe_many(name: str, values) -> None:
+    """Record every value of an iterable into histogram ``name``.
+
+    The iteration only happens when a registry is active, so hot paths can
+    pass per-worker arrays without paying for them while metrics are off.
+    """
+    registry = MetricsRegistry._active
+    if registry is not None:
+        histogram = registry.histogram(name)
+        for value in values:
+            histogram.observe(value)
+
+
+class _ObservedScope:
+    """Times a block on the wall clock and observes it into a histogram.
+
+    The wall-clock read happens *here*, inside ``repro.obs`` — emission
+    sites in DET002-scoped simulation paths (the sharded backend) never
+    touch a clock themselves.
+    """
+
+    __slots__ = ("_name", "_t0")
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __enter__(self) -> "_ObservedScope":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        registry = MetricsRegistry._active
+        if registry is not None:
+            registry.histogram(self._name).observe(time.perf_counter() - self._t0)
+
+
+#: Shared disabled-path scope, same singleton pattern as ``profiled``.
+_NULL_OBSERVED = nullcontext()
+
+
+def observed(name: str):
+    """Context manager observing the block's wall time into histogram ``name``.
+
+    Returns a shared null scope while no registry is active, so wrapping hot
+    paths costs one attribute read when metrics are off.
+    """
+    return _NULL_OBSERVED if MetricsRegistry._active is None else _ObservedScope(name)

@@ -1,0 +1,291 @@
+"""Structured event tracing with dual virtual/wall timestamps.
+
+The paper's whole argument is an error-*runtime* trade-off, so every span a
+:class:`Tracer` records carries two clocks: the simulated
+:class:`~repro.utils.timer.VirtualClock` (what the error-runtime frontier is
+plotted against) and the real wall clock (what the reproduction actually
+costs to run).  Where the two diverge — an averaging step that is cheap in
+virtual time but slow in wall time, a shard RPC that blocks the parent — is
+exactly what the tooling in :mod:`repro.obs.tooling` exists to surface.
+
+Determinism contract: apart from the two wall-time fields (``wall_start``,
+``wall_dur``), every byte of a flushed trace is a pure function of the
+seeded run.  Event names come from the frozen registry in
+:mod:`repro.obs.events` (checked at emit time, and statically by the OBS001
+analysis rule); virtual timestamps come from the virtual clock; ``seq`` is
+the in-process emission order; field values are run state (τ, round index,
+labels, content addresses).  Two seeded runs therefore produce byte-identical
+``trace.jsonl`` files modulo the wall fields — the property the
+``python -m repro.obs diff`` triage tool and the test suite rely on.
+
+Zero overhead when disabled: :func:`span` returns one shared ``nullcontext``
+singleton and :func:`instant` is a single attribute read and return — the
+same pattern as :func:`repro.utils.timer.profiled` — so emission sites stay
+in place unconditionally, including in per-round hot paths.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import nullcontext
+from pathlib import Path
+
+from repro.obs.events import EVENT_NAMES, PROFILE_OP
+from repro.utils.timer import Profiler, VirtualClock
+
+__all__ = [
+    "Tracer",
+    "WALL_FIELDS",
+    "instant",
+    "read_trace",
+    "span",
+    "strip_wall_fields",
+    "trace_lines",
+]
+
+#: The only nondeterministic keys of an event record; everything else is a
+#: pure function of the seeded run.  Tooling and tests strip these before
+#: comparing traces.
+WALL_FIELDS = ("wall_start", "wall_dur")
+
+
+class _TraceSpan:
+    """One ``with span(...):`` activation; records into its tracer on exit."""
+
+    __slots__ = ("_tracer", "_name", "_clock", "_fields", "_v0", "_w0")
+
+    def __init__(self, tracer: "Tracer", name: str, clock: "VirtualClock | None", fields: dict):
+        self._tracer = tracer
+        self._name = name
+        self._clock = clock
+        self._fields = fields
+
+    def __enter__(self) -> "_TraceSpan":
+        self._v0 = None if self._clock is None else self._clock.now
+        self._w0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        w1 = time.perf_counter()
+        tracer = self._tracer
+        v0 = self._v0
+        tracer._emit(
+            name=self._name,
+            kind="span",
+            v_start=v0,
+            v_dur=None if v0 is None else self._clock.now - v0,
+            wall_start=self._w0 - tracer._wall0,
+            wall_dur=w1 - self._w0,
+            fields=self._fields,
+        )
+
+
+class Tracer:
+    """Buffers typed span/instant events; flushes deterministic JSONL.
+
+    One tracer is active per process at a time (``enable()`` / ``with
+    Tracer() as t:``), and emission sites use the module-level :func:`span` /
+    :func:`instant` helpers so a disabled tracer costs nothing.  Events are
+    buffered in memory and written by :meth:`flush` as one sorted-keys JSON
+    object per line — byte-stable across seeded runs apart from the
+    ``wall_*`` fields (see :data:`WALL_FIELDS`).
+
+    Parameters
+    ----------
+    profile:
+        Also run a :class:`~repro.utils.timer.Profiler` while this tracer is
+        enabled, and bridge its aggregated per-op rows into the trace as
+        ``profile_op`` instant events at :meth:`finish`/:meth:`flush` time —
+        so one ``--trace`` run yields both the event timeline and the
+        kernel-level breakdown.  Shard processes never report into the
+        parent's profiler; their cost appears as ``shard_rpc`` spans instead.
+    """
+
+    #: The process-wide active tracer, or ``None`` (tracing disabled).
+    _active: "Tracer | None" = None
+
+    def __init__(self, profile: bool = False):
+        self._events: list[dict] = []
+        self._seq = 0
+        self._wall0 = time.perf_counter()
+        self._profiler = Profiler() if profile else None
+        self._profile_bridged = False
+        self._prev: "Tracer | None" = None
+
+    # -- activation ---------------------------------------------------------
+    def enable(self) -> "Tracer":
+        """Make this the active tracer; returns self."""
+        self._prev = Tracer._active
+        Tracer._active = self
+        if self._profiler is not None:
+            self._profiler.enable()
+        return self
+
+    def disable(self) -> "Tracer":
+        """Stop recording, restoring whichever tracer was active before."""
+        if Tracer._active is self:
+            Tracer._active = self._prev
+        if self._profiler is not None:
+            self._profiler.disable()
+        return self
+
+    def __enter__(self) -> "Tracer":
+        return self.enable()
+
+    def __exit__(self, *exc) -> None:
+        self.disable()
+
+    # -- emission -----------------------------------------------------------
+    def _emit(
+        self,
+        name: str,
+        kind: str,
+        v_start: "float | None",
+        v_dur: "float | None",
+        wall_start: "float | None",
+        wall_dur: "float | None",
+        fields: dict,
+    ) -> None:
+        if name not in EVENT_NAMES:
+            raise ValueError(
+                f"unknown trace event name {name!r}; registered names: "
+                f"{sorted(EVENT_NAMES)} (add new event types to repro.obs.events)"
+            )
+        self._events.append({
+            "name": name,
+            "kind": kind,
+            "seq": self._seq,
+            "v_start": v_start,
+            "v_dur": v_dur,
+            "wall_start": wall_start,
+            "wall_dur": wall_dur,
+            "fields": fields,
+        })
+        self._seq += 1
+
+    def span(self, name: str, clock: "VirtualClock | None" = None, **fields) -> _TraceSpan:
+        """Context manager recording a span event when the block exits.
+
+        ``clock`` opts into virtual timestamps: ``v_start`` is the clock at
+        entry and ``v_dur`` whatever the block advanced it by (0.0 for work
+        that is free in simulated time, e.g. evaluation).
+        """
+        return _TraceSpan(self, name, clock, fields)
+
+    def instant(self, name: str, clock: "VirtualClock | None" = None, **fields) -> None:
+        """Record a zero-duration event at the current position."""
+        self._emit(
+            name=name,
+            kind="instant",
+            v_start=None if clock is None else clock.now,
+            v_dur=None,
+            wall_start=time.perf_counter() - self._wall0,
+            wall_dur=None,
+            fields=fields,
+        )
+
+    # -- output -------------------------------------------------------------
+    def finish(self) -> list[dict]:
+        """Bridge pending profiler rows (once) and return the event buffer.
+
+        ``profile_op`` instants carry each slash-joined op path and its call
+        count in ``fields`` (both deterministic) and the aggregated wall time
+        in ``wall_dur`` — so the nondeterministic value lives in a wall field
+        that :func:`strip_wall_fields` removes, keeping the whole stripped
+        trace byte-stable.  Rows are emitted sorted by op path.
+        """
+        if self._profiler is not None and not self._profile_bridged:
+            self._profile_bridged = True
+            rows = self._profiler.to_dict()
+            for op in sorted(rows):
+                entry = rows[op]
+                self._emit(
+                    name=PROFILE_OP,
+                    kind="instant",
+                    v_start=None,
+                    v_dur=None,
+                    wall_start=None,
+                    wall_dur=entry["total_seconds"],
+                    fields={"op": op, "calls": entry["calls"]},
+                )
+        return self._events
+
+    @property
+    def events(self) -> list[dict]:
+        """The raw buffered event records (no profiler bridge)."""
+        return self._events
+
+    @property
+    def profiler(self) -> "Profiler | None":
+        """The bridged per-op profiler, when constructed with ``profile=True``."""
+        return self._profiler
+
+    def to_jsonl(self) -> str:
+        """The trace as JSONL: one sorted-keys JSON object per line."""
+        return "".join(json.dumps(e, sort_keys=True) + "\n" for e in self.finish())
+
+    def flush(self, path: "str | Path") -> Path:
+        """Write the trace to ``path`` (atomically; parents created)."""
+        import os
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(self.to_jsonl())
+        os.replace(tmp, path)
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tracer(events={len(self._events)}, active={Tracer._active is self})"
+
+
+#: Shared disabled-path context manager — ``span`` must cost next to nothing
+#: when no tracer is active, so it returns this singleton instead of
+#: constructing anything (same pattern as ``repro.utils.timer.profiled``).
+_NULL_SPAN = nullcontext()
+
+
+def span(name: str, clock: "VirtualClock | None" = None, **fields):
+    """Scope a span event under the active tracer, or do nothing."""
+    tracer = Tracer._active
+    return _NULL_SPAN if tracer is None else tracer.span(name, clock=clock, **fields)
+
+
+def instant(name: str, clock: "VirtualClock | None" = None, **fields) -> None:
+    """Record an instant event under the active tracer, or do nothing."""
+    tracer = Tracer._active
+    if tracer is not None:
+        tracer.instant(name, clock=clock, **fields)
+
+
+# -- reading traces back -----------------------------------------------------
+
+def read_trace(path: "str | Path") -> list[dict]:
+    """Parse a ``trace.jsonl`` file back into event records."""
+    events = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"{path}:{lineno}: not valid JSON ({err.msg})") from None
+        if not isinstance(event, dict) or "name" not in event or "kind" not in event:
+            raise ValueError(f"{path}:{lineno}: not a trace event record")
+        events.append(event)
+    return events
+
+
+def strip_wall_fields(events: list[dict]) -> list[dict]:
+    """Copies of ``events`` with the nondeterministic wall fields removed.
+
+    What remains is byte-stable across seeded runs — the form the
+    determinism tests and the ``diff`` tool compare.
+    """
+    return [{k: v for k, v in e.items() if k not in WALL_FIELDS} for e in events]
+
+
+def trace_lines(events: list[dict]) -> str:
+    """Serialize event records exactly as :meth:`Tracer.to_jsonl` would."""
+    return "".join(json.dumps(e, sort_keys=True) + "\n" for e in events)

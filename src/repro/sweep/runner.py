@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.obs.metrics import counter_inc
+from repro.obs.tracer import instant
 from repro.sweep.spec import SweepCell, SweepSpec
 from repro.sweep.store import ResultStore
 from repro.utils.logging import get_logger
@@ -74,8 +76,15 @@ class SweepReport:
 
 def _execute_cell(
     payload: dict[str, Any], backend_handle=None
-) -> tuple[str, "dict | None", "str | None"]:
-    """Run one cell in the current process; returns ``(address, result, error)``.
+) -> tuple[str, "dict | None", "str | None", "dict | None"]:
+    """Run one cell in the current process.
+
+    Returns ``(address, result, error, metrics)``: the result payload, a
+    traceback string on failure, and (only when the payload asks for
+    ``collect_metrics``) a metrics snapshot from a per-cell registry.
+    Metrics are opt-in so the default path stores exactly the bytes it
+    always has; the snapshot is the store's *sidecar* content, never part of
+    ``result.json``.
 
     Module-level (picklable) so it works under every multiprocessing start
     method.  Imports are local so a spawned interpreter pays them lazily and
@@ -85,23 +94,33 @@ def _execute_cell(
     """
     from repro.experiments.configs import ExperimentConfig
     from repro.experiments.harness import run_experiment
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import span
 
     address = payload["address"]
     try:
         # The config dict already carries the cell's run seed (the spec folds
         # derived seeds back in), so the address is the hash of what runs.
         config = ExperimentConfig.from_dict(payload["config"])
-        runs = run_experiment(config, backend_handle=backend_handle)
-        return address, runs.to_payload(), None
+        # The span records under the parent's tracer on the serial path;
+        # pooled workers have no active tracer, so it costs nothing there.
+        with span("sweep_cell", address=address, experiment=config.name):
+            if payload.get("collect_metrics"):
+                with MetricsRegistry() as registry:
+                    runs = run_experiment(config, backend_handle=backend_handle)
+                return address, runs.to_payload(), None, registry.snapshot()
+            runs = run_experiment(config, backend_handle=backend_handle)
+        return address, runs.to_payload(), None, None
     except Exception:  # noqa: BLE001 - one bad cell must not sink the campaign
-        return address, None, traceback.format_exc()
+        return address, None, traceback.format_exc(), None
 
 
-def _cell_payload(cell: SweepCell) -> dict[str, Any]:
+def _cell_payload(cell: SweepCell, collect_metrics: bool = False) -> dict[str, Any]:
     return {
         "address": cell.address,
         "config": cell.config.to_dict(),
         "run_seed": cell.run_seed,
+        "collect_metrics": collect_metrics,
     }
 
 
@@ -131,6 +150,12 @@ class SweepRunner:
     progress:
         Optional callable receiving one line per cell event (the CLI passes
         ``print``); campaign progress also goes to the module logger.
+    collect_metrics:
+        Run each cell under a fresh metrics registry and persist its
+        snapshot as the cell's ``metrics.json`` sidecar (see
+        :meth:`ResultStore.put_metrics`).  Off by default so the stored
+        result bytes — and the parallel==serial byte-equality guarantee on
+        them — are untouched by telemetry.
     """
 
     def __init__(
@@ -139,6 +164,7 @@ class SweepRunner:
         jobs: int = 1,
         mp_context: str = "spawn",
         progress: "Callable[[str], None] | None" = None,
+        collect_metrics: bool = False,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -146,6 +172,7 @@ class SweepRunner:
         self.jobs = int(jobs)
         self.mp_context = mp_context
         self._progress = progress
+        self.collect_metrics = bool(collect_metrics)
 
     def _emit(self, message: str) -> None:
         logger.info("%s", message)
@@ -190,6 +217,8 @@ class SweepRunner:
         for cell in unique.values():
             if cell.address in self.store:
                 report.cached.append(cell.address)
+                counter_inc("sweep_cells_cached_total")
+                instant("sweep_cell", address=cell.address, status="cached")
                 self._emit(f"[sweep] cached   {cell.address}  {cell.label}")
             else:
                 pending.append(cell)
@@ -200,23 +229,29 @@ class SweepRunner:
                 f"with jobs={min(self.jobs, len(pending))}"
             )
         by_address = {cell.address: cell for cell in pending}
-        for address, result_payload, error in self._execute(pending):
+        for address, result_payload, error, metrics in self._execute(pending):
             cell = by_address[address]
             if error is not None:
                 report.failed[address] = error
+                counter_inc("sweep_cells_failed_total")
+                instant("sweep_cell", address=address, status="failed")
                 self._emit(f"[sweep] FAILED   {address}  {cell.label}")
                 logger.error("cell %s failed:\n%s", address, error)
                 continue
             self.store.put(address, _cell_meta(cell), result_payload)
+            if metrics is not None:
+                self.store.put_metrics(address, metrics)
             report.executed.append(address)
+            counter_inc("sweep_cells_executed_total")
+            instant("sweep_cell", address=address, status="executed")
             self._emit(f"[sweep] executed {address}  {cell.label}")
 
         self._emit(report.summary())
         return report
 
     def _execute(self, pending: list[SweepCell]):
-        """Yield ``(address, payload, error)`` for each pending cell."""
-        payloads = [_cell_payload(cell) for cell in pending]
+        """Yield ``(address, payload, error, metrics)`` for each pending cell."""
+        payloads = [_cell_payload(cell, self.collect_metrics) for cell in pending]
         if not payloads:
             return
         jobs = min(self.jobs, len(payloads))
@@ -262,6 +297,9 @@ def run_sweep(
     store: "ResultStore | str | Path",
     jobs: int = 1,
     progress: "Callable[[str], None] | None" = None,
+    collect_metrics: bool = False,
 ) -> SweepReport:
     """One-call convenience wrapper: ``run_sweep(spec, "sweeps", jobs=4)``."""
-    return SweepRunner(store, jobs=jobs, progress=progress).run(spec)
+    return SweepRunner(
+        store, jobs=jobs, progress=progress, collect_metrics=collect_metrics
+    ).run(spec)

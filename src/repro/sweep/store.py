@@ -32,6 +32,7 @@ __all__ = ["ResultStore", "CellResult", "MergeReport", "QueryHit"]
 
 _CELL_FILE = "cell.json"
 _RESULT_FILE = "result.json"
+_METRICS_FILE = "metrics.json"
 
 
 @dataclass(frozen=True)
@@ -121,6 +122,9 @@ class ResultStore:
     def _meta_path(self, address: str) -> Path:
         return self.cell_dir(address) / _CELL_FILE
 
+    def _metrics_path(self, address: str) -> Path:
+        return self.cell_dir(address) / _METRICS_FILE
+
     # -- queries ----------------------------------------------------------
 
     def __contains__(self, address: str) -> bool:
@@ -177,6 +181,32 @@ class ResultStore:
         cell_dir.mkdir(parents=True, exist_ok=True)
         _dump_json(self._meta_path(address), meta)
         _dump_json(self._result_path(address), result_payload)
+
+    def put_metrics(self, address: str, snapshot: dict[str, Any]) -> None:
+        """Persist a cell's telemetry snapshot as a sidecar ``metrics.json``.
+
+        Metrics are deliberately *outside* the byte-identity contract:
+        snapshots carry wall-time histograms (``shard_rpc_seconds``) that
+        differ between executions of the same cell, so they live in their
+        own file, never in ``result.json``, and :meth:`merge_from` treats
+        them as advisory (copied with a fresh cell, never conflict-checked).
+        A cell's completeness is still defined by ``result.json`` alone.
+        """
+        cell_dir = self.cell_dir(address)
+        cell_dir.mkdir(parents=True, exist_ok=True)
+        _dump_json(self._metrics_path(address), snapshot)
+
+    def has_metrics(self, address: str) -> bool:
+        return self._metrics_path(address).is_file()
+
+    def metrics(self, address: str) -> dict[str, Any]:
+        """A stored cell's ``metrics.json`` sidecar payload."""
+        try:
+            return json.loads(self._metrics_path(address).read_text())
+        except FileNotFoundError:
+            raise KeyError(
+                f"cell {address!r} has no metrics sidecar in store {self.root}"
+            ) from None
 
     def write_manifest(self, campaign: str, payload: dict[str, Any]) -> Path:
         """Record which addresses a campaign spans (``sweeps/<name>.json``)."""
@@ -286,6 +316,13 @@ class ResultStore:
             cell_dir = self.cell_dir(address)
             cell_dir.mkdir(parents=True, exist_ok=True)
             (cell_dir / _CELL_FILE).write_text(src_meta)
+            # The metrics sidecar is advisory telemetry (wall-time content,
+            # outside the byte-identity contract): it travels with a newly
+            # copied cell but is never conflict-checked.
+            if src.has_metrics(address):
+                (cell_dir / _METRICS_FILE).write_text(
+                    src._metrics_path(address).read_text()
+                )
             tmp = cell_dir / (_RESULT_FILE + ".tmp")
             tmp.write_text(src_result)
             os.replace(tmp, cell_dir / _RESULT_FILE)

@@ -3,7 +3,7 @@
 from repro.utils.seeding import SeedSequence, check_random_state, set_global_seed
 from repro.utils.results import MetricPoint, RunRecord, RunStore
 from repro.utils.timer import Stopwatch, VirtualClock
-from repro.utils.logging import get_logger
+from repro.utils.logging import configure_logging, get_logger, log_context
 
 __all__ = [
     "SeedSequence",
@@ -14,5 +14,7 @@ __all__ = [
     "RunStore",
     "Stopwatch",
     "VirtualClock",
+    "configure_logging",
     "get_logger",
+    "log_context",
 ]

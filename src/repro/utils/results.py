@@ -176,10 +176,19 @@ class RunRecord:
 
 
 class RunStore:
-    """An in-memory (and optionally on-disk) collection of :class:`RunRecord`."""
+    """An in-memory (and optionally on-disk) collection of :class:`RunRecord`.
+
+    A metrics snapshot (see ``repro.obs.metrics.MetricsRegistry.snapshot``)
+    can be attached via :attr:`metrics`; it rides along through
+    :meth:`to_payload`/:meth:`from_payload` but only appears in the payload
+    when actually set, so stores without telemetry serialize exactly as they
+    always have (golden fixtures and content-addressed sweep cells included).
+    """
 
     def __init__(self) -> None:
         self._runs: dict[str, RunRecord] = {}
+        #: Optional metrics snapshot for the runs in this store.
+        self.metrics: dict[str, Any] | None = None
 
     def add(self, record: RunRecord) -> None:
         if record.name in self._runs:
@@ -216,7 +225,10 @@ class RunStore:
 
     def to_payload(self) -> dict[str, Any]:
         """JSON-compatible dict of the whole store (see :meth:`from_payload`)."""
-        return {"runs": [r.to_dict() for r in self._runs.values()]}
+        payload: dict[str, Any] = {"runs": [r.to_dict() for r in self._runs.values()]}
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict[str, Any]) -> "RunStore":
@@ -224,6 +236,7 @@ class RunStore:
         store = cls()
         for rd in payload.get("runs", []):
             store.add(RunRecord.from_dict(rd))
+        store.metrics = payload.get("metrics")
         return store
 
     def save(self, path: str | Path) -> None:

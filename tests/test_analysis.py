@@ -370,6 +370,129 @@ def test_bank001_catches_layer_dropped_from_real_matrix(tmp_path):
     assert any("Tanh" in f.message for f in report.findings)
 
 
+# -- OBS001 ------------------------------------------------------------------
+
+_OBS_EVENTS = 'EVENT_NAMES = frozenset({\n    "round",\n    "eval",\n})\n'
+
+
+def test_obs001_clean_when_names_are_registered(tmp_path):
+    report = _run(
+        tmp_path,
+        {
+            "repro/obs/events.py": _OBS_EVENTS,
+            "repro/core/t.py": (
+                "from repro.obs.tracer import span, instant\n"
+                "def f(clock):\n"
+                "    with span('round', clock=clock, round=1):\n"
+                "        instant('eval')\n"
+            ),
+        },
+        select=["OBS001"],
+    )
+    assert report.ok
+
+
+def test_obs001_flags_unregistered_literal_name(tmp_path):
+    report = _run(
+        tmp_path,
+        {
+            "repro/obs/events.py": _OBS_EVENTS,
+            "repro/core/t.py": (
+                "from repro.obs.tracer import instant\n"
+                "instant('bogus_event')\n"
+            ),
+        },
+        select=["OBS001"],
+    )
+    (finding,) = report.findings
+    assert "bogus_event" in finding.message and finding.line == 2
+
+
+def test_obs001_flags_computed_name_through_imported_helper(tmp_path):
+    report = _run(
+        tmp_path,
+        {
+            "repro/obs/events.py": _OBS_EVENTS,
+            "repro/core/t.py": (
+                "from repro.obs.tracer import span as sp\n"
+                "def f(name):\n"
+                "    return sp(name)\n"
+            ),
+        },
+        select=["OBS001"],
+    )
+    (finding,) = report.findings
+    assert "string literal" in finding.message
+
+
+def test_obs001_checks_method_calls_but_not_argless_span(tmp_path):
+    report = _run(
+        tmp_path,
+        {
+            "repro/obs/events.py": _OBS_EVENTS,
+            "repro/core/t.py": (
+                "def f(tracer, match):\n"
+                "    tracer.span('mystery')\n"
+                "    return match.span(0)\n"   # re.Match.span: not an event
+            ),
+        },
+        select=["OBS001"],
+    )
+    (finding,) = report.findings
+    assert "mystery" in finding.message
+
+
+def test_obs001_exempts_the_obs_package_itself(tmp_path):
+    report = _run(
+        tmp_path,
+        {
+            "repro/obs/events.py": _OBS_EVENTS,
+            "repro/obs/tracer.py": (
+                "def span(name):\n"
+                "    return name\n"
+                "def forward(self, name):\n"
+                "    return self.span(name)\n"
+            ),
+        },
+        select=["OBS001"],
+    )
+    assert report.ok
+
+
+def test_obs001_flags_missing_registry_declaration(tmp_path):
+    report = _run(
+        tmp_path,
+        {
+            "repro/core/t.py": (
+                "from repro.obs.tracer import instant\n"
+                "instant('round')\n"
+            ),
+        },
+        select=["OBS001"],
+    )
+    (finding,) = report.findings
+    assert "EVENT_NAMES" in finding.message
+
+
+def test_obs001_catches_name_dropped_from_real_registry(tmp_path):
+    """Acceptance check: dropping "round" from the registry fails the real
+    emission sites (copied verbatim into a fixture tree — the analysis is
+    purely syntactic, so their imports never run)."""
+    events_py = (SRC_ROOT / "repro" / "obs" / "events.py").read_text()
+    pruned = events_py.replace('    "round",\n', "")
+    assert pruned != events_py
+    report = _run(
+        tmp_path,
+        {
+            "repro/obs/events.py": pruned,
+            "repro/core/trainer.py": (SRC_ROOT / "repro" / "core" / "trainer.py").read_text(),
+        },
+        select=["OBS001"],
+    )
+    assert not report.ok
+    assert all("'round'" in f.message for f in report.findings)
+
+
 # -- API001 ------------------------------------------------------------------
 
 
