@@ -7,8 +7,16 @@ backends produce the same trajectory and that ``backend="auto"`` resolves to
 the bank for every family, and writes the results to ``BENCH_backend.json``
 so the performance trajectory is tracked across PRs.  The sharded family
 measures the multi-process pool (``--shards`` processes, spawn start method);
-its timings include the per-round pipe traffic, so it only wins once the
+its timings include the per-round transport traffic, so it only wins once the
 per-shard arithmetic dominates — exactly the large-m regime it exists for.
+
+A second dimension compares the sharded pool's two data planes head to head —
+Pipe pickling vs the zero-copy shared-memory state plane — at ``tau=1`` in
+communication-bound sizings of the same two families
+(:data:`TRANSPORT_FAMILIES`) across ``--transport-workers`` cluster sizes, and
+records each transport's measured per-round pickled payload (via the
+``bytes_over_pipe`` / ``bytes_via_shm`` obs counters) under ``"transport"``
+in the JSON.
 
 Runs standalone (no pytest-benchmark needed)::
 
@@ -71,8 +79,40 @@ FAMILIES = {
 }
 
 
-def build_cluster(backend: str, family: str, n_workers: int, n_shards: int = 2) -> SimulatedCluster:
-    spec = FAMILIES[family]
+#: Communication-bound sizings of the same two families, used only for the
+#: pipe-vs-shm transport comparison.  Transport cost scales with the state
+#: plane (m × P) while per-step compute scales with the batch as well, so the
+#: regime where the data plane matters — and the one the shm plane targets,
+#: the paper's large-model runs — is wide layers at a small batch.  The main
+#: FAMILIES sizings keep P small enough that fixed RPC latency (paid equally
+#: by both transports) dominates, which would measure mostly noise.
+TRANSPORT_FAMILIES = {
+    "mlp": {
+        "n_features": 32,
+        "batch_size": 2,
+        "model_fn": lambda: MLP(32, N_CLASSES, hidden_sizes=(512, 256), rng=42),
+        "label": "mlp(512, 256)",
+    },
+    "cnn": {
+        "n_features": 3 * 8 * 8,
+        "batch_size": 2,
+        "model_fn": lambda: SmallCNN(
+            in_channels=3, image_size=8, channels=(32, 64), n_classes=N_CLASSES, rng=42
+        ),
+        "label": "cnn(32, 64) on 3x8x8",
+    },
+}
+
+
+def build_cluster(
+    backend: str,
+    family: str,
+    n_workers: int,
+    n_shards: int = 2,
+    shard_transport: str = "auto",
+    families: dict = FAMILIES,
+) -> SimulatedCluster:
+    spec = families[family]
     dataset = make_gaussian_blobs(
         n_samples=max(50 * n_workers, 800),
         n_features=spec["n_features"],
@@ -95,11 +135,13 @@ def build_cluster(backend: str, family: str, n_workers: int, n_shards: int = 2) 
         seed=SEED,
         backend=backend,
         n_shards=n_shards,
+        shard_transport=shard_transport,
     )
 
 
 def time_backend(backend: str, family: str, n_workers: int, rounds: int, tau: int,
-                 repeats: int, n_shards: int = 2):
+                 repeats: int, n_shards: int = 2, shard_transport: str = "auto",
+                 families: dict = FAMILIES):
     """Median-of-``repeats`` wall-clock time and the final loss (parity checks).
 
     Timing excludes cluster construction (the sharded backend's pool spawn is
@@ -112,7 +154,10 @@ def time_backend(backend: str, family: str, n_workers: int, rounds: int, tau: in
     samples: list[float] = []
     final_loss = float("nan")
     for attempt in range(repeats + 1):  # attempt 0 is the untimed warm-up
-        cluster = build_cluster(backend, family, n_workers, n_shards=n_shards)
+        cluster = build_cluster(
+            backend, family, n_workers, n_shards=n_shards,
+            shard_transport=shard_transport, families=families,
+        )
         try:
             start = time.perf_counter()
             for _ in range(rounds):
@@ -123,6 +168,84 @@ def time_backend(backend: str, family: str, n_workers: int, rounds: int, tau: in
         if attempt > 0:
             samples.append(elapsed)
     return float(np.median(samples)), final_loss
+
+
+def round_transfer_bytes(family: str, n_workers: int, tau: int, n_shards: int,
+                         shard_transport: str) -> tuple[int, int]:
+    """Per-round (pipe_payload_bytes, shm_payload_bytes) of one sharded round.
+
+    Counted by the ``bytes_over_pipe`` / ``bytes_via_shm`` obs counters the
+    backend emits at its transfer sites, so the JSON records the measured
+    pickled-payload reduction, not a back-of-envelope estimate: under the
+    shm plane the pipes carry only O(1) control tuples and the pipe counter
+    reads zero.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    cluster = build_cluster(
+        "sharded", family, n_workers, n_shards=n_shards,
+        shard_transport=shard_transport, families=TRANSPORT_FAMILIES,
+    )
+    try:
+        with MetricsRegistry() as metrics:
+            cluster.run_round(tau)
+        counters = metrics.snapshot()["counters"]
+        return int(counters["bytes_over_pipe"]), int(counters["bytes_via_shm"])
+    finally:
+        cluster.close()
+
+
+def bench_transports(families: list[str], worker_counts: list[int], rounds: int,
+                     tau: int, repeats: int, n_shards: int) -> list[dict]:
+    """sharded-pipe vs sharded-shm rows, in the communication-bound regime.
+
+    ``tau`` here is deliberately small (default 1): every local step then
+    pays a gather + broadcast, which is the traffic the shm plane exists to
+    take off the pipes.  Large-``tau`` runs amortize transport behind
+    arithmetic and would measure mostly noise.  The rows use the
+    :data:`TRANSPORT_FAMILIES` sizings (wide layers, small batch) for the
+    same reason — see that table's comment.
+    """
+    results = []
+    for family in families:
+        print(f"transport comparison: {TRANSPORT_FAMILIES[family]['label']}, "
+              f"batch {TRANSPORT_FAMILIES[family]['batch_size']}, "
+              f"{rounds} rounds x tau={tau}, {n_shards} procs")
+        print(f"{'m':>4} {'pipe (s)':>10} {'shm (s)':>10} {'shm speedup':>12} "
+              f"{'pipe B/round':>13} {'shm pipe B/round':>17}")
+        for m in worker_counts:
+            pipe_s, pipe_loss = time_backend(
+                "sharded", family, m, rounds, tau, repeats,
+                n_shards=n_shards, shard_transport="pipe", families=TRANSPORT_FAMILIES,
+            )
+            shm_s, shm_loss = time_backend(
+                "sharded", family, m, rounds, tau, repeats,
+                n_shards=n_shards, shard_transport="shm", families=TRANSPORT_FAMILIES,
+            )
+            if shm_loss != pipe_loss:
+                raise SystemExit(
+                    f"transport mismatch for {family} at m={m}: shm loss {shm_loss} "
+                    f"must be byte-identical to pipe {pipe_loss}"
+                )
+            pipe_bytes, _ = round_transfer_bytes(family, m, tau, n_shards, "pipe")
+            shm_pipe_bytes, shm_bytes = round_transfer_bytes(family, m, tau, n_shards, "shm")
+            speedup = pipe_s / shm_s
+            results.append(
+                {
+                    "model": family,
+                    "n_workers": m,
+                    "pipe_seconds": round(pipe_s, 6),
+                    "shm_seconds": round(shm_s, 6),
+                    "shm_speedup": round(speedup, 3),
+                    "pipe_payload_bytes_per_round": pipe_bytes,
+                    "shm_pipe_payload_bytes_per_round": shm_pipe_bytes,
+                    "shm_payload_bytes_per_round": shm_bytes,
+                    "final_loss": round(float(shm_loss), 8),
+                }
+            )
+            print(f"{m:>4} {pipe_s:>10.3f} {shm_s:>10.3f} {speedup:>11.2f}x "
+                  f"{pipe_bytes:>13} {shm_pipe_bytes:>17}")
+    return results
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -142,6 +265,13 @@ def main(argv: list[str] | None = None) -> int:
                              "warm-up run precedes them)")
     parser.add_argument("--shards", type=int, default=2,
                         help="process count for the sharded backend family")
+    parser.add_argument("--transport-workers", default="4,8,16,32",
+                        help="comma-separated cluster sizes for the sharded "
+                             "pipe-vs-shm transport comparison ('' to skip it)")
+    parser.add_argument("--transport-tau", type=int, default=1,
+                        help="local steps per round for the transport rows; "
+                             "tau=1 is the communication-bound regime the shm "
+                             "plane targets")
     parser.add_argument("--out", default="BENCH_backend.json",
                         help="path of the JSON results file")
     args = parser.parse_args(argv)
@@ -204,6 +334,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{m:>4} {loop_s:>10.3f} {vec_s:>15.3f} {speedup:>7.1f}x "
                   f"{sharded_s:>12.3f} {sharded_speedup:>7.1f}x")
 
+    transport_workers = [int(m) for m in args.transport_workers.split(",") if m.strip()]
+    transport_results = (
+        bench_transports(
+            families, transport_workers, args.rounds, args.transport_tau,
+            args.repeats, args.shards,
+        )
+        if transport_workers
+        else []
+    )
+
     payload = {
         "benchmark": "bench_backend_speedup",
         "models": {f: FAMILIES[f]["label"] for f in families},
@@ -216,6 +356,13 @@ def main(argv: list[str] | None = None) -> int:
         "timing": {"aggregate": "median", "warmup_runs": 1},
         "shards": args.shards,
         "results": results,
+        "transport": {
+            "transports": ["pipe", "shm"],
+            "tau": args.transport_tau,
+            "models": {f: TRANSPORT_FAMILIES[f]["label"] for f in families},
+            "batch_size": {f: TRANSPORT_FAMILIES[f]["batch_size"] for f in families},
+            "results": transport_results,
+        },
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")

@@ -14,6 +14,13 @@ its best ratio across them — the CI job re-runs the benchmark once before
 failing, so a single noisy sample on a loaded runner cannot fail the build,
 while a real regression reproduces in both runs and still does.
 
+When the baseline carries a ``"transport"`` section (sharded-pipe vs
+sharded-shm), its ``shm_speedup`` ratios ratchet under the same tolerance,
+with one additional *hard* gate: the shared-memory plane must beat the Pipe
+transport outright (``shm_speedup > 1``) at m=16 on the CNN family — the
+headline workload the zero-copy plane exists for.  The gate compares the two
+transports on the *same* fresh run, so it is runner-speed-independent.
+
 Exit status 0 when every row holds, 1 with a per-row report otherwise.
 """
 
@@ -28,31 +35,44 @@ TOLERANCE = 0.30
 #: The ratio fields of each benchmark row that ratchet forward PR by PR.
 RATIO_FIELDS = ("speedup", "sharded_speedup")
 
+#: Ratio fields of the transport-comparison rows (pipe vs shm data planes).
+TRANSPORT_RATIO_FIELDS = ("shm_speedup",)
 
-def merge_best(fresh_payloads: "list[dict]") -> dict:
+#: The hard transport gate: (model, n_workers) rows where the fresh shm
+#: plane must beat the Pipe transport outright, not merely stay in tolerance.
+TRANSPORT_MUST_WIN = (("cnn", 16),)
+
+
+def _rows(payload: dict, section: "str | None") -> "list[dict]":
+    if section is None:
+        return payload["results"]
+    return payload.get(section, {}).get("results", [])
+
+
+def merge_best(fresh_payloads: "list[dict]", fields: "tuple[str, ...]" = RATIO_FIELDS,
+               section: "str | None" = None) -> dict:
     """Best ratio per (model, n_workers, field) across the fresh runs."""
     best: dict = {}
     for payload in fresh_payloads:
-        for row in payload["results"]:
+        for row in _rows(payload, section):
             key = (row["model"], row["n_workers"])
             entry = best.setdefault(key, {})
-            for field in RATIO_FIELDS:
+            for field in fields:
                 entry[field] = max(entry.get(field, float("-inf")), row[field])
     return best
 
 
-def regressions(baseline: dict, fresh_payloads: "list[dict]") -> "list[str]":
-    """Report lines for every baseline row; returns the failing subset."""
-    best = merge_best(fresh_payloads)
+def _ratchet_rows(baseline_rows: "list[dict]", best: dict,
+                  fields: "tuple[str, ...]" = RATIO_FIELDS) -> "list[str]":
     failures: list[str] = []
-    for row in baseline["results"]:
+    for row in baseline_rows:
         key = (row["model"], row["n_workers"])
         got = best.get(key)
         if got is None:
             failures.append(f"benchmark dropped the {key} row")
             print(f"MISSING {key[0]} m={key[1]}")
             continue
-        for field in RATIO_FIELDS:
+        for field in fields:
             floor = row[field] * (1 - TOLERANCE)
             ok = got[field] >= floor
             print(
@@ -64,6 +84,31 @@ def regressions(baseline: dict, fresh_payloads: "list[dict]") -> "list[str]":
                 failures.append(
                     f"{key[0]} m={key[1]} {field} regressed beyond "
                     f"{TOLERANCE:.0%}: {row[field]:.2f}x -> {got[field]:.2f}x"
+                )
+    return failures
+
+
+def regressions(baseline: dict, fresh_payloads: "list[dict]") -> "list[str]":
+    """Report lines for every baseline row; returns the failing subset."""
+    failures = _ratchet_rows(baseline["results"], merge_best(fresh_payloads))
+
+    transport_rows = _rows(baseline, "transport")
+    if transport_rows:
+        best = merge_best(fresh_payloads, TRANSPORT_RATIO_FIELDS, section="transport")
+        failures += _ratchet_rows(transport_rows, best, TRANSPORT_RATIO_FIELDS)
+        for key in TRANSPORT_MUST_WIN:
+            got = best.get(key)
+            if got is None:
+                continue  # already reported as a dropped row above
+            ok = got["shm_speedup"] > 1.0
+            print(
+                f"{'ok ' if ok else 'FAILED GATE'} {key[0]} m={key[1]}: shm must "
+                f"beat pipe outright, fresh shm_speedup {got['shm_speedup']:.2f}x"
+            )
+            if not ok:
+                failures.append(
+                    f"hard gate: shm did not beat pipe at {key[0]} m={key[1]} "
+                    f"(shm_speedup {got['shm_speedup']:.2f}x <= 1.00x)"
                 )
     return failures
 

@@ -48,6 +48,7 @@ def _populate_rules() -> None:
     import repro.analysis.rules_hash  # noqa: F401
     import repro.analysis.rules_obs  # noqa: F401
     import repro.analysis.rules_perf  # noqa: F401
+    import repro.analysis.rules_shm  # noqa: F401
     import repro.analysis.rules_spawn  # noqa: F401
     import repro.analysis.rules_style  # noqa: F401
 

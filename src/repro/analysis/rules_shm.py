@@ -1,0 +1,109 @@
+"""SHM001: shared-memory segments must have a reachable teardown path.
+
+``multiprocessing.shared_memory.SharedMemory(create=True)`` allocates a
+named POSIX segment under ``/dev/shm`` that outlives the creating
+process unless ``unlink()`` is called — a leaked segment survives even
+interpreter exit and silently eats the (often small) ``/dev/shm``
+tmpfs until the host is rebooted.  The repro transport layer
+(``repro.distributed.transport``) therefore requires every owner of a
+created segment to expose *both* halves of the teardown protocol:
+``close()`` (drop this process's mapping) **and** ``unlink()`` (remove
+the name from the filesystem).
+
+This rule statically cross-checks that contract, in the same spirit as
+``BANK001``: any class in ``src/`` whose body constructs
+``SharedMemory(create=True)`` must also contain at least one
+``.close()`` call and at least one ``.unlink()`` call somewhere in its
+methods (typically ``close``/``destroy``/a ``weakref.finalize``
+callback).  Module-level creations outside any class are checked
+against the whole module.  The check is syntactic by design — it cannot
+prove the teardown *runs*, but it guarantees the path exists and keeps
+"allocate and forget" from ever passing review silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import RULES, ModuleInfo, Rule, dotted_chain
+from repro.analysis.findings import Finding
+
+__all__ = ["ShmTeardownRule"]
+
+
+def _is_shm_create(node: ast.Call) -> bool:
+    """True for ``SharedMemory(..., create=True)`` (keyword or 2nd positional)."""
+    chain = dotted_chain(node.func)
+    if not chain or chain[-1] != "SharedMemory":
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    if len(node.args) >= 2:
+        arg = node.args[1]
+        return isinstance(arg, ast.Constant) and arg.value is True
+    return False
+
+
+def _attribute_calls(scope: ast.AST) -> set[str]:
+    """Names of all ``something.<name>()`` attribute calls inside ``scope``."""
+    names: set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            names.add(node.func.attr)
+    return names
+
+
+class ShmTeardownRule(Rule):
+    """SHM001: SharedMemory(create=True) owners must close() AND unlink()."""
+
+    id = "SHM001"
+    summary = "shared-memory creators must have close() and unlink() teardown"
+
+    def check(self, module: ModuleInfo, ctx) -> Iterator[Finding]:
+        class_of: dict[ast.AST, ast.ClassDef | None] = {}
+
+        def annotate(node: ast.AST, owner: ast.ClassDef | None) -> None:
+            for child in ast.iter_child_nodes(node):
+                next_owner = child if isinstance(child, ast.ClassDef) else owner
+                class_of[child] = next_owner
+                annotate(child, next_owner)
+
+        annotate(module.tree, None)
+
+        module_calls: set[str] | None = None
+        scope_calls: dict[ast.ClassDef, set[str]] = {}
+
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and _is_shm_create(node)):
+                continue
+            owner = class_of.get(node)
+            if owner is not None:
+                if owner not in scope_calls:
+                    scope_calls[owner] = _attribute_calls(owner)
+                calls, where = scope_calls[owner], f"class {owner.name!r}"
+            else:
+                if module_calls is None:
+                    module_calls = _attribute_calls(module.tree)
+                calls, where = module_calls, "this module"
+            missing = sorted({"close", "unlink"} - calls)
+            if missing:
+                yield Finding(
+                    rule=self.id,
+                    message=(
+                        "SharedMemory(create=True) without a reachable "
+                        f"{' / '.join(f'{name}()' for name in missing)} call in "
+                        f"{where}; leaked segments persist in /dev/shm after "
+                        "process exit"
+                    ),
+                    file=module.display,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+
+
+RULES.register(ShmTeardownRule.id, ShmTeardownRule())

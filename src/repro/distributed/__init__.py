@@ -15,6 +15,7 @@ from repro.distributed.worker import Worker
 from repro.distributed.averaging import average_states, weighted_average_states
 from repro.distributed.backends import BackendUnsupported, LoopWorkers, WorkerBackend
 from repro.distributed.worker_bank import BankWorkerView, WorkerBank
+from repro.distributed.transport import ShmStatePlane, resolve_transport, shm_available
 from repro.distributed.sharded_bank import ShardedBank, ShardWorkerView, shard_slices
 from repro.distributed.reuse import BackendHandle, resolve_backend
 from repro.distributed.cluster import SimulatedCluster
@@ -39,6 +40,9 @@ __all__ = [
     "LoopWorkers",
     "WorkerBank",
     "BankWorkerView",
+    "ShmStatePlane",
+    "resolve_transport",
+    "shm_available",
     "ShardedBank",
     "ShardWorkerView",
     "shard_slices",

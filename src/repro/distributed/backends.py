@@ -99,6 +99,22 @@ class WorkerBackend:
         """Overwrite every worker's parameters with one flat vector."""
         raise NotImplementedError
 
+    def mean_state(self) -> "tuple[np.ndarray, int]":
+        """Uniform mean of all worker states and the gathered byte count.
+
+        Returns ``(mean, nbytes)`` where ``mean`` equals
+        ``get_stacked_states().mean(axis=0)`` *bitwise* and ``nbytes`` is
+        the size of the gathered ``(m, P)`` stack (what
+        ``bytes_averaged_total`` counts).  The cluster's uniform averaging
+        collective calls this instead of gathering itself so backends can
+        overlap the reduction with the gather — the sharded backend folds
+        each shard's rows into the running sum as that shard's reply
+        arrives.  Overriding backends must keep the reduction row-
+        sequential in worker order; any other association changes bytes.
+        """
+        states = self.get_stacked_states()
+        return states.mean(axis=0), states.nbytes
+
     def set_lr(self, lr: float) -> None:
         raise NotImplementedError
 

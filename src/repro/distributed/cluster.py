@@ -90,6 +90,12 @@ class SimulatedCluster:
         reduced-precision mode — half the memory traffic, parity within
         tolerance rather than byte-equality).  The loop backend is the
         float64 reference and ignores this knob.
+    shard_transport:
+        Data plane of the sharded backend's pool: ``"auto"`` (the zero-copy
+        shared-memory state plane where the platform supports it, else
+        pipes), ``"shm"``, or ``"pipe"``.  Like the other process-layout
+        knobs this can never change a trajectory; in-process backends
+        ignore it.
     weighting:
         How the averaging collective weights worker states: ``"uniform"``
         (the paper's setting, eq. 3) or ``"shard_size"`` — FedAvg-style
@@ -116,6 +122,7 @@ class SimulatedCluster:
         n_shards: int = 2,
         auto_shard_threshold: "int | None" = None,
         bank_dtype: str = "float64",
+        shard_transport: str = "auto",
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -174,6 +181,7 @@ class SimulatedCluster:
                 backend,
                 n_shards=n_shards,
                 auto_shard_threshold=auto_shard_threshold,
+                shard_transport=shard_transport,
                 **build_kwargs,
             )
 
@@ -200,6 +208,7 @@ class SimulatedCluster:
         *,
         n_shards: int = 2,
         auto_shard_threshold: "int | None" = None,
+        shard_transport: str = "auto",
         **kwargs,
     ) -> tuple[str, WorkerBackend]:
         """Build the execution backend; ``"auto"`` escalates and falls back.
@@ -209,7 +218,11 @@ class SimulatedCluster:
         :class:`~repro.distributed.reuse.BackendHandle`).
         """
         return resolve_backend(
-            spec, n_shards=n_shards, auto_shard_threshold=auto_shard_threshold, **kwargs
+            spec,
+            n_shards=n_shards,
+            auto_shard_threshold=auto_shard_threshold,
+            shard_transport=shard_transport,
+            **kwargs,
         )
 
     @property
@@ -303,8 +316,19 @@ class SimulatedCluster:
         with span("communicate", clock=self.clock, round=self.communication_rounds + 1):
             with span("average", clock=self.clock, n_workers=self.n_workers):
                 with profiled("cluster.average"):
-                    states = self._backend.get_stacked_states()
-                    averaged = self._average(states)
+                    if self._average_weights is None:
+                        # Uniform averaging goes through the backend's
+                        # mean_state hook, which is bit-identical to
+                        # mean(axis=0) over the gathered stack but lets the
+                        # sharded backend overlap the reduction with the
+                        # gather (folding each shard's rows as they arrive).
+                        averaged, gathered_bytes = self._backend.mean_state()
+                    else:
+                        states = self._backend.get_stacked_states()
+                        gathered_bytes = states.nbytes
+                        averaged = weighted_average_states(
+                            list(states), self._average_weights
+                        )
                     if self.block_momentum is not None:
                         averaged = self.block_momentum.apply(
                             self._synchronized_params, averaged, self.current_lr
@@ -313,7 +337,7 @@ class SimulatedCluster:
                     if self.block_momentum is not None:
                         self._backend.reset_momentum()
                     self._synchronized_params = averaged.copy()
-            counter_inc("bytes_averaged_total", states.nbytes)
+            counter_inc("bytes_averaged_total", gathered_bytes)
 
             duration = self.runtime.sample_communication()
             self.clock.advance(duration)

@@ -34,6 +34,7 @@ def resolve_backend(
     *,
     n_shards: int = 2,
     auto_shard_threshold: "int | None" = None,
+    shard_transport: str = "auto",
     handle: "BackendHandle | None" = None,
     **kwargs,
 ) -> tuple[str, WorkerBackend]:
@@ -52,8 +53,8 @@ def resolve_backend(
 
     def sharded(**kw) -> ShardedBank:
         if handle is not None:
-            return handle._sharded(n_shards=n_shards, **kw)
-        return BACKENDS.build("sharded", n_shards=n_shards, **kw)
+            return handle._sharded(n_shards=n_shards, transport=shard_transport, **kw)
+        return BACKENDS.build("sharded", n_shards=n_shards, transport=shard_transport, **kw)
 
     if spec == "sharded":
         return "sharded", sharded(**kwargs)
@@ -79,9 +80,12 @@ class BackendHandle:
 
     Parameters mirror the cluster's backend selection: ``spec`` is the
     backend name (``"loop"``, ``"vectorized"``, ``"sharded"``, ``"auto"``),
-    ``n_shards`` the pool size for sharded resolutions, and
-    ``auto_shard_threshold`` the ``"auto"`` escalation point.  The handle is
-    also a context manager; exiting closes whatever pool it still holds.
+    ``n_shards`` the pool size for sharded resolutions,
+    ``auto_shard_threshold`` the ``"auto"`` escalation point, and
+    ``shard_transport`` the pool's data plane (shared-memory state plane or
+    pipes — a rebuild reallocates the plane, so the transport can differ
+    between consecutive runs of one pool).  The handle is also a context
+    manager; exiting closes whatever pool it still holds.
 
     In-process backends (loop, vectorized) hold no pooled resources, so the
     handle simply builds them fresh each time — reuse only changes process
@@ -94,10 +98,12 @@ class BackendHandle:
         *,
         n_shards: int = 2,
         auto_shard_threshold: "int | None" = None,
+        shard_transport: str = "auto",
     ):
         self.spec = spec
         self.n_shards = n_shards
         self.auto_shard_threshold = auto_shard_threshold
+        self.shard_transport = shard_transport
         self._pool: "ShardedBank | None" = None
 
     def acquire(self, **kwargs) -> tuple[str, WorkerBackend]:
@@ -112,6 +118,7 @@ class BackendHandle:
             self.spec,
             n_shards=self.n_shards,
             auto_shard_threshold=self.auto_shard_threshold,
+            shard_transport=self.shard_transport,
             handle=self,
             **kwargs,
         )

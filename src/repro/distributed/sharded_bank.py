@@ -28,15 +28,29 @@ averaging collective runs in the parent on the identical ``(m, P)`` array —
 so parameters, buffers, losses, and RNG stream positions are byte-identical
 across all three backends (``tests/test_sharded_bank.py`` pins this down).
 
+Data plane: a pooled backend moves the ``(m, P)`` state bank over one of two
+transports.  The default (``transport="auto"`` → ``"shm"`` where available)
+is the zero-copy shared-memory state plane from
+:mod:`repro.distributed.transport`: children write their state rows in place
+and read broadcasts from the same mapping, so the Pipes carry only tiny
+control tuples.  ``"pipe"`` keeps the original pickle-over-Pipe path; both
+produce byte-identical trajectories, and segment-allocation failures fall
+back to Pipes silently (check :attr:`ShardedBank.transport` for the plane
+actually in use).  In-process backends (``pooled=False``) have no
+serialization boundary at all; since PR 9 they drive their shard servers
+through a persistent thread pool (NumPy kernels release the GIL), gathered
+in shard index order so reply ordering — and hence bytes — never changes.
+
 Lifecycle: the pool is created at construction and lives until
 :meth:`close` (idempotent; also invoked by ``SimulatedCluster.close()``, the
 experiment harness' ``finally``, and a ``weakref.finalize`` safety net).
-Children are daemonic, so an abandoned backend can never outlive its parent.
-One consequence: a *daemonic* parent — e.g. a sweep-pool worker executing a
-cell with ``backend="sharded"`` under ``--jobs N`` — is itself forbidden
-from spawning children, so there the same shard servers run in-process
-(``pooled=False``): identical partition, arithmetic, and stored bytes,
-whether a cell ran serially or inside the pool.
+Shared-memory segments are created and unlinked exactly once, by the parent;
+children only close their mappings.  Children are daemonic, so an abandoned
+backend can never outlive its parent.  One consequence: a *daemonic* parent
+— e.g. a sweep-pool worker executing a cell with ``backend="sharded"`` under
+``--jobs N`` — is itself forbidden from spawning children, so there the same
+shard servers run in-process (``pooled=False``): identical partition,
+arithmetic, and stored bytes, whether a cell ran serially or inside the pool.
 """
 
 from __future__ import annotations
@@ -45,7 +59,8 @@ import multiprocessing
 import pickle
 import traceback
 import weakref
-from typing import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -53,9 +68,10 @@ from repro.api.registries import BACKENDS
 from repro.data.bank_loader import common_effective_batch
 from repro.data.synthetic import Dataset
 from repro.distributed.backends import BackendUnsupported, WorkerBackend
+from repro.distributed.transport import ShmStatePlane, buffer_spec, resolve_transport
 from repro.nn.bank import attach_bank_streams, bank_compatible
 from repro.nn.layers import Module
-from repro.obs.metrics import observed
+from repro.obs.metrics import counter_inc, observed
 from repro.obs.tracer import instant, span
 from repro.utils.seeding import check_random_state
 from repro.utils.timer import profiled
@@ -67,7 +83,7 @@ __all__ = ["ShardedBank", "ShardWorkerView", "shard_slices"]
 #: command drains it, saving one blocking round-trip per training round
 #: (broadcast ends every averaging step; its ack overlaps the next
 #: ``local_period`` instead of stalling the parent).
-_DEFERRED_ACK_OPS = frozenset({"broadcast", "set_lr", "reset_momentum"})
+_DEFERRED_ACK_OPS = frozenset({"broadcast", "broadcast_shm", "set_lr", "reset_momentum"})
 
 
 def shard_slices(n_workers: int, n_shards: int) -> list[tuple[int, int]]:
@@ -117,6 +133,20 @@ class _ShardServer:
             stream_rngs=payload["stream_rngs"],
             bank_dtype=payload.get("bank_dtype", "float64"),
         )
+        # Shared-memory state plane (pooled shm transport only): this shard
+        # owns plane rows [lo, hi) and attaches from the picklable spec the
+        # parent put in the payload.  Attach-only: the parent is the sole
+        # owner/unlinker of the segments.
+        self._plane = (
+            ShmStatePlane.attach(payload["plane"]) if payload.get("plane") else None
+        )
+        self._bounds = payload.get("plane_bounds")
+
+    def close_plane(self) -> None:
+        """Unmap this shard's plane attachment (never unlinks; idempotent)."""
+        if self._plane is not None:
+            self._plane.close()
+            self._plane = None
 
     def execute(self, op: str, args: tuple):
         bank = self.bank
@@ -124,14 +154,33 @@ class _ShardServer:
             return bank.local_period(*args)
         if op == "get_states":
             return bank.get_stacked_states()
+        if op == "sync_states":
+            # shm gather: write this shard's rows into the shared plane and
+            # ack with no payload — the parent reads its own mapping.
+            lo, hi = self._bounds
+            self._plane.states[lo:hi] = bank.get_stacked_states()
+            return None
         if op == "broadcast":
             return bank.broadcast_state(*args)
+        if op == "broadcast_shm":
+            # shm broadcast: the parent wrote the averaged model into the
+            # plane before sending this (fire-and-forget) command; copy out
+            # so the bank never aliases the shared mapping.
+            return bank.broadcast_state(np.array(self._plane.bcast, dtype=float))
         if op == "get_worker_flat":
             return bank.bank.worker_flat(*args)
         if op == "set_worker_flat":
             return bank.bank.set_worker_flat(*args)
         if op == "get_worker_buffers":
             return bank.bank.worker_buffers(*args)
+        if op == "put_worker_buffers":
+            # shm buffer fetch: pack the worker's running statistics into
+            # its plane row; the parent unpacks from its own mapping.
+            local_id = args[0]
+            self._plane.write_worker_buffers(
+                self._bounds[0] + local_id, bank.bank.worker_buffers(local_id)
+            )
+            return None
         if op == "set_lr":
             return bank.set_lr(*args)
         if op == "reset_momentum":
@@ -141,6 +190,9 @@ class _ShardServer:
         if op == "rebuild":
             # Replace the shard-local bank with one built from a fresh
             # payload — the pool (this process) stays alive across methods.
+            # The parent destroyed (and possibly resized) the plane, so drop
+            # the stale attachment before re-attaching via the new payload.
+            self.close_plane()
             self.__init__(args[0])
             return None
         raise ValueError(f"unknown shard command {op!r}")
@@ -162,18 +214,23 @@ def _shard_main(conn, payload: dict) -> None:
         conn.send(("error", traceback.format_exc()))
         return
 
-    while True:
-        try:
-            op, args = conn.recv()
-        except (EOFError, KeyboardInterrupt):
-            return
-        if op == "close":
-            conn.send(("ok", None))
-            return
-        try:
-            conn.send(("ok", server.execute(op, args)))
-        except Exception:  # noqa: BLE001 - errors travel back, the child survives
-            conn.send(("error", traceback.format_exc()))
+    try:
+        while True:
+            try:
+                op, args = conn.recv()
+            except (EOFError, KeyboardInterrupt):
+                return
+            if op == "close":
+                conn.send(("ok", None))
+                return
+            try:
+                conn.send(("ok", server.execute(op, args)))
+            except Exception:  # noqa: BLE001 - errors travel back, the child survives
+                conn.send(("error", traceback.format_exc()))
+    finally:
+        # Unmap (never unlink) the shm plane on any exit path, so the
+        # parent's unlink is the last reference going away.
+        server.close_plane()
 
 
 class ShardWorkerView:
@@ -220,6 +277,12 @@ class ShardedBank(WorkerBackend):
     mp_context:
         Multiprocessing start method (default ``"spawn"``, the portable
         choice that genuinely exercises the payload's spawn safety).
+    transport:
+        Pooled data plane for the state bank: ``"shm"`` (zero-copy
+        shared-memory segments), ``"pipe"`` (pickle over the control
+        pipes), or ``"auto"`` (shm where available).  Trajectories are
+        byte-identical either way; :attr:`transport` reports the plane
+        actually in use (``"inproc"`` when there is no pool at all).
     """
 
     name = "sharded"
@@ -238,7 +301,9 @@ class ShardedBank(WorkerBackend):
         n_shards: int = 2,
         mp_context: str = "spawn",
         bank_dtype: str = "float64",
+        transport: str = "auto",
     ):
+        resolved = resolve_transport(transport)  # validate before any work
         payloads = self._prepare(
             model_fn,
             shards,
@@ -254,6 +319,8 @@ class ShardedBank(WorkerBackend):
 
         self._conns, self._procs = [], []
         self._servers: "list[_ShardServer] | None" = None
+        self._executor: "ThreadPoolExecutor | None" = None
+        self._plane: "ShmStatePlane | None" = None
         self._closed = False
         #: Fire-and-forget commands whose acks are still queued in the pipes
         #: (one per connection each), drained by the next synchronizing
@@ -273,8 +340,20 @@ class ShardedBank(WorkerBackend):
             self._servers = [
                 _ShardServer(pickle.loads(pickle.dumps(payload))) for payload in payloads
             ]
+            #: In-process shards compute on a persistent thread pool — the
+            #: bank kernels are NumPy calls that release the GIL, so sweep-
+            #: pool cells get real shard parallelism.  Results are always
+            #: gathered in shard index order (see ``_inproc_results``), so
+            #: reply ordering — and hence every stored byte — matches the
+            #: serial execution this replaces.
+            if len(self._servers) > 1:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=len(self._servers), thread_name_prefix="repro-shard"
+                )
+            self.transport = "inproc"
             return
 
+        self.transport = self._create_plane(payloads, resolved)
         ctx = multiprocessing.get_context(mp_context)
         try:
             for payload in payloads:
@@ -297,8 +376,33 @@ class ShardedBank(WorkerBackend):
             raise
 
         self._finalizer = weakref.finalize(
-            self, _shutdown_pool, list(self._conns), list(self._procs)
+            self, _shutdown_pool, list(self._conns), list(self._procs), self._plane
         )
+
+    def _create_plane(self, payloads: list, resolved: str) -> str:
+        """Allocate the shm state plane and annotate the payloads with it.
+
+        Returns the transport actually secured: allocation failure (a full
+        ``/dev/shm``, say) downgrades to ``"pipe"`` rather than failing the
+        run.  Called before any child spawns, so the attach recipe rides
+        inside the spawn payloads and stays SPAWN001-clean.
+        """
+        if resolved != "shm":
+            return "pipe"
+        try:
+            self._plane = ShmStatePlane.create(
+                n_workers=len(self.workers),
+                n_params=self._initial_flat.size,
+                state_dtype=self._bank_dtype,
+                buffer_spec=buffer_spec(self.model) if self._has_buffers else (),
+            )
+        except (OSError, ValueError, RuntimeError):  # pragma: no cover - platform-dependent
+            return "pipe"
+        spec = self._plane.spec()
+        for payload, bounds in zip(payloads, self.shard_slices):
+            payload["plane"] = spec
+            payload["plane_bounds"] = bounds
+        return "shm"
 
     def _prepare(
         self,
@@ -365,6 +469,7 @@ class ShardedBank(WorkerBackend):
         m = len(shards)
         self.model = template
         self._initial_flat = template.get_flat_parameters()
+        self._bank_dtype = bank_dtype
         self._has_buffers = any(True for _ in template.named_buffers())
         self._shard_sizes = None if data_free else [len(shard) for shard in shards]
         self._batch_size = 0 if data_free else effective_batch
@@ -417,6 +522,7 @@ class ShardedBank(WorkerBackend):
         template: Module | None = None,
         n_shards: int = 2,
         bank_dtype: str = "float64",
+        transport: str = "auto",
     ) -> "ShardedBank":
         """Reuse the live pool for a fresh run instead of respawning it.
 
@@ -427,11 +533,15 @@ class ShardedBank(WorkerBackend):
         constructed one — process spawn is the only thing skipped — so
         trajectories stay byte-identical to fresh-pool runs.  The worker
         count may change between runs; the shard *count* must match the live
-        pool (a pool cannot grow or shrink processes).
+        pool (a pool cannot grow or shrink processes).  The shm state plane
+        is reallocated for the new ``(m, P)`` geometry (and the transport
+        may switch between runs): the parent destroys the old segments, the
+        ``rebuild`` command makes each child drop its stale attachment.
         """
         self._ensure_open()
         if not shards:
             raise ValueError("need at least one shard (use [None, ...] for data-free runs)")
+        resolved = resolve_transport(transport)
         live = self.pool_size
         requested = len(shard_slices(len(shards), n_shards))
         if requested != live:
@@ -453,11 +563,24 @@ class ShardedBank(WorkerBackend):
         )
         if self._servers is not None:
             # In-process transport: same pickle round-trip a real process
-            # boundary would apply, same isolation guarantees.
+            # boundary would apply, same isolation guarantees.  The thread
+            # pool is sized by shard count, which cannot change — keep it.
             self._servers = [
                 _ShardServer(pickle.loads(pickle.dumps(payload))) for payload in payloads
             ]
             return self
+        # Geometry (and possibly the transport choice) changed: drop the old
+        # plane — children close their stale attachments inside the rebuild
+        # command below, and POSIX keeps unlinked segments mapped until then.
+        if self._plane is not None:
+            self._plane.destroy()
+            self._plane = None
+        self.transport = self._create_plane(payloads, resolved)
+        # The finalizer captured the previous plane; re-arm it with the new one.
+        self._finalizer.detach()
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pool, list(self._conns), list(self._procs), self._plane
+        )
         # Pipelined like _request_all: every shard starts rebuilding before
         # any reply is awaited, and every reply is drained even on failure
         # (including any deferred acks still queued from the previous run).
@@ -507,6 +630,24 @@ class ShardedBank(WorkerBackend):
                 instant("shard_rpc", op=past_op, shard=index, phase="drain_ack")
         return errors
 
+    def _inproc_results(self, op: str, args: tuple) -> Iterator:
+        """Yield each in-process server's result, in shard index order.
+
+        With more than one server the executions run concurrently on the
+        persistent thread pool (the bank kernels release the GIL); gathering
+        ``Future.result()`` in submission order keeps reply ordering — and
+        first-error propagation — identical to the serial loop it replaces.
+        """
+        if self._executor is None:
+            for server in self._servers:
+                yield server.execute(op, args)
+            return
+        futures = [
+            self._executor.submit(server.execute, op, args) for server in self._servers
+        ]
+        for future in futures:
+            yield future.result()
+
     def _request_all(self, op: str, *args) -> list:
         """Send one command to every shard, then gather the replies in order.
 
@@ -529,10 +670,11 @@ class ShardedBank(WorkerBackend):
         # the parent observes it.  Deferred ops only pay serialization here;
         # their wait lands in the next synchronizing op's scope.
         deferred = op in _DEFERRED_ACK_OPS
-        with span("shard_rpc", op=op, shard="all", pooled=self.pooled, deferred=deferred), \
+        with span("shard_rpc", op=op, shard="all", pooled=self.pooled,
+                  deferred=deferred, transport=self.transport), \
                 observed("shard_rpc_seconds"), profiled(f"shard_rpc.{op}"):
             if self._servers is not None:
-                return [server.execute(op, args) for server in self._servers]
+                return list(self._inproc_results(op, args))
             for conn in self._conns:
                 conn.send((op, args))
             if deferred:
@@ -551,7 +693,8 @@ class ShardedBank(WorkerBackend):
 
     def _request_shard(self, shard_index: int, op: str, *args):
         self._ensure_open()
-        with span("shard_rpc", op=op, shard=shard_index, pooled=self.pooled, deferred=False), \
+        with span("shard_rpc", op=op, shard=shard_index, pooled=self.pooled,
+                  deferred=False, transport=self.transport), \
                 observed("shard_rpc_seconds"), profiled(f"shard_rpc.{op}"):
             if self._servers is not None:
                 return self._servers[shard_index].execute(op, args)
@@ -580,15 +723,23 @@ class ShardedBank(WorkerBackend):
         """Shut the process pool down; safe to call more than once.
 
         In-process shard servers (daemonic parents) have no pool; closing
-        just drops them and marks the backend unusable.
+        drops them, stops their thread pool, and marks the backend unusable.
+        The shm state plane is destroyed (closed *and* unlinked) here — the
+        parent is its sole owner, so this is the exactly-once unlink site
+        (with the ``weakref.finalize`` safety net covering abandonment).
         """
         if getattr(self, "_closed", True):
             return
         self._closed = True
         self._servers = None
+        executor = getattr(self, "_executor", None)
+        if executor is not None:
+            executor.shutdown(wait=True)
+            self._executor = None
         if hasattr(self, "_finalizer"):
             self._finalizer.detach()
-        _shutdown_pool(self._conns, self._procs)
+        _shutdown_pool(self._conns, self._procs, getattr(self, "_plane", None))
+        self._plane = None
 
     # -- WorkerBackend protocol ----------------------------------------------
     @property
@@ -612,11 +763,94 @@ class ShardedBank(WorkerBackend):
     def get_stacked_states(self) -> np.ndarray:
         # Shards are contiguous worker ranges, so concatenation in shard
         # order *is* worker order — the (m, P) array the averaging collective
-        # reduces is byte-identical to the single-process bank's.
-        return np.concatenate(self._request_all("get_states"), axis=0)
+        # reduces is byte-identical to the single-process bank's.  Over the
+        # shm plane the children write their rows in place and the parent
+        # copies out of its own mapping; the pipes carry only empty acks.
+        with observed("shard_gather_seconds"):
+            if self._plane is not None:
+                self._request_all("sync_states")
+                states = self._plane.states.copy()
+                counter_inc("bytes_via_shm", states.nbytes)
+                return states
+            states = np.concatenate(self._request_all("get_states"), axis=0)
+        if self.pooled:
+            counter_inc("bytes_over_pipe", states.nbytes)
+        return states
+
+    def mean_state(self) -> "tuple[np.ndarray, int]":
+        """Overlapped uniform mean: reduce each shard's rows as they land.
+
+        Instead of materializing the full ``(m, P)`` stack and then calling
+        ``mean(axis=0)``, the parent folds each shard's block into a running
+        sum the moment that shard's reply (or shm ready-ack) arrives, while
+        later shards are still computing or in flight.  The reduction visits
+        rows strictly in worker order — NumPy's own axis-0 mean is the same
+        row-sequential accumulation — so the result is bit-identical to
+        ``get_stacked_states().mean(axis=0)``; per-shard partial sums would
+        reassociate the additions and are deliberately avoided.
+        """
+        self._ensure_open()
+        acc: "np.ndarray | None" = None
+        nbytes = 0
+        with span("shard_rpc", op="mean_state", shard="all", pooled=self.pooled,
+                  deferred=False, transport=self.transport), \
+                observed("shard_rpc_seconds"), observed("shard_gather_seconds"), \
+                profiled("shard_rpc.mean_state"):
+            if self._servers is not None:
+                for block in self._inproc_results("get_states", ()):
+                    acc = _fold_rows(acc, block)
+                    nbytes += block.nbytes
+            elif self._plane is not None:
+                for conn in self._conns:
+                    conn.send(("sync_states", ()))
+                errors = self._drain_deferred_acks()
+                for index, conn in enumerate(self._conns):
+                    status, detail = conn.recv()
+                    if status != "ok":
+                        errors.append(f"shard process {index} failed:\n{detail}")
+                        continue
+                    lo, hi = self.shard_slices[index]
+                    acc = _fold_rows(acc, self._plane.states[lo:hi])
+                if errors:
+                    raise RuntimeError("\n".join(errors))
+                nbytes = self._plane.states.nbytes
+                counter_inc("bytes_via_shm", nbytes)
+            else:
+                for conn in self._conns:
+                    conn.send(("get_states", ()))
+                errors = self._drain_deferred_acks()
+                for index, conn in enumerate(self._conns):
+                    status, block = conn.recv()
+                    if status != "ok":
+                        errors.append(f"shard process {index} failed:\n{block}")
+                        continue
+                    acc = _fold_rows(acc, block)
+                    nbytes += block.nbytes
+                if errors:
+                    raise RuntimeError("\n".join(errors))
+                counter_inc("bytes_over_pipe", nbytes)
+        acc /= acc.dtype.type(len(self.workers))
+        return acc, nbytes
 
     def broadcast_state(self, flat: np.ndarray) -> None:
-        self._request_all("broadcast", np.asarray(flat, dtype=float))
+        flat = np.asarray(flat, dtype=float)
+        if self._plane is None:
+            self._request_all("broadcast", flat)
+            if self.pooled:
+                counter_inc("bytes_over_pipe", flat.nbytes)
+            return
+        # Back-to-back broadcasts with no synchronizing command between them
+        # would overwrite the plane while a shard may not have read it yet;
+        # drain the pending acks first (an ack proves the read happened).
+        # The normal round structure (broadcast → local_period → gather)
+        # never takes this branch.
+        if "broadcast_shm" in self._deferred:
+            errors = self._drain_deferred_acks()
+            if errors:
+                raise RuntimeError("\n".join(errors))
+        self._plane.bcast[:] = flat
+        self._request_all("broadcast_shm")
+        counter_inc("bytes_via_shm", flat.nbytes)
 
     def set_lr(self, lr: float) -> None:
         self._request_all("set_lr", lr)
@@ -625,7 +859,17 @@ class ShardedBank(WorkerBackend):
         self._request_all("reset_momentum")
 
     def worker_buffers(self, worker_id: int) -> dict:
-        """Copies of one worker's buffer slices (fetched from its shard)."""
+        """Copies of one worker's buffer slices (fetched from its shard).
+
+        Over the shm plane the shard packs the row in place and acks empty;
+        the parent unpacks from its own mapping (same names, shapes, dtype,
+        and bytes as the pickled dict the Pipe transport returns).
+        """
+        if self._plane is not None and self._has_buffers:
+            self._worker_request(worker_id, "put_worker_buffers")
+            buffers = self._plane.read_worker_buffers(worker_id)
+            counter_inc("bytes_via_shm", self._plane.buffers[worker_id].nbytes)
+            return buffers
         return self._worker_request(worker_id, "get_worker_buffers")
 
     def materialize(self, flat: np.ndarray, worker_id: int = 0) -> Module:
@@ -654,16 +898,39 @@ class ShardedBank(WorkerBackend):
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShardedBank(n_workers={len(self.workers)}, n_shards={self.n_shards}, "
-            f"pooled={self.pooled}, closed={self._closed})"
+            f"pooled={self.pooled}, transport={self.transport}, closed={self._closed})"
         )
 
 
-def _shutdown_pool(conns: list, procs: list) -> None:
-    """Best-effort clean shutdown: ask politely, then join, then terminate."""
+def _fold_rows(acc: "np.ndarray | None", block: np.ndarray) -> np.ndarray:
+    """Fold one shard's ``(k, P)`` state block into the running row sum.
+
+    Row-sequential accumulation in worker order is exactly the reduction
+    ``np.mean(states, axis=0)`` performs on the concatenated bank, so the
+    overlapped average stays bit-identical to the materialize-then-mean
+    path for float64 and float32 alike.
+    """
+    for row in block:
+        if acc is None:
+            acc = row.copy()
+        else:
+            acc += row
+    return acc
+
+
+def _shutdown_pool(conns: list, procs: list, plane: "ShmStatePlane | None" = None) -> None:
+    """Best-effort clean shutdown: ask politely, then join, then terminate.
+
+    ``EOFError`` joins ``BrokenPipeError`` (an ``OSError``) in the send
+    guard: a connection torn down mid-interpreter-shutdown — or pointing at
+    a child that died — can surface either, and a second ``close()`` after
+    a crashed child must stay silent.  The shm plane (if any) is destroyed
+    last, after every child had its chance to unmap.
+    """
     for conn in conns:
         try:
             conn.send(("close", ()))
-        except (OSError, ValueError):
+        except (OSError, EOFError, ValueError):
             pass
     for proc in procs:
         proc.join(timeout=2.0)
@@ -675,6 +942,8 @@ def _shutdown_pool(conns: list, procs: list) -> None:
             conn.close()
         except OSError:  # pragma: no cover - already gone
             pass
+    if plane is not None:
+        plane.destroy()
 
 
 BACKENDS.register("sharded", ShardedBank)

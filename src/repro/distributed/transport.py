@@ -1,0 +1,249 @@
+"""Zero-copy data plane for the sharded backend: the shared-memory state plane.
+
+The Pipe transport that shipped with ``backend="sharded"`` pickles the full
+``(m, P)`` float bank through ``Connection.send``/``recv`` twice per training
+round (gather + broadcast), so transport — not arithmetic — dominated the
+sharded column of BENCH_backend.json.  This module provides the replacement:
+one :class:`multiprocessing.shared_memory.SharedMemory` segment holds the
+stacked worker states, a second holds the broadcast vector, and an optional
+third holds per-worker buffer rows (BatchNorm running statistics).  Shard
+children write their ``[lo, hi)`` state rows in place and read broadcasts
+from the same mapping, so the Pipes carry only tiny ``(op, args)`` control
+tuples and the per-round pickled payload drops from O(m·P) to O(1).
+
+Ownership is asymmetric by design: the parent *creates* the segments and is
+the only side that ever ``unlink``\\ s them (exactly once, from ``close()``
+or its ``weakref.finalize`` safety net); children *attach* via the picklable
+:meth:`ShmStatePlane.spec` recipe carried inside the spawn payload and only
+``close()`` their mapping.  POSIX keeps an unlinked segment alive until the
+last mapping closes, so teardown order can never corrupt a reader.
+
+Sizing caveat: the states segment is ``m × P`` elements of the bank dtype in
+``/dev/shm`` (a tmpfs, typically capped at half of RAM).  Allocation failure
+— or an interpreter built without ``multiprocessing.shared_memory`` — falls
+back to the Pipe transport rather than failing the run; ``"shm"`` is a
+preference, not an assertion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - minimal builds without _posixshmem
+    _shared_memory = None
+
+__all__ = [
+    "ShmStatePlane",
+    "TRANSPORTS",
+    "buffer_spec",
+    "resolve_transport",
+    "shm_available",
+]
+
+#: Valid ``shard_transport`` spellings, in config/CLI order.
+TRANSPORTS = ("auto", "shm", "pipe")
+
+
+def shm_available() -> bool:
+    """Whether this interpreter can allocate POSIX shared memory at all."""
+    return _shared_memory is not None
+
+
+def resolve_transport(requested: str) -> str:
+    """Map a requested transport to the one the platform can deliver.
+
+    ``"auto"`` and ``"shm"`` both resolve to the shared-memory plane when
+    the interpreter ships ``multiprocessing.shared_memory``, falling back
+    to ``"pipe"`` otherwise (segment-allocation failures downgrade later,
+    at creation time).  Requesting ``"shm"`` is a preference, not an
+    assertion, so configs stay portable across platforms.
+    """
+    if requested not in TRANSPORTS:
+        raise ValueError(
+            f"unknown shard transport {requested!r}; choose one of {TRANSPORTS}"
+        )
+    if requested == "pipe":
+        return "pipe"
+    return "shm" if shm_available() else "pipe"
+
+
+def buffer_spec(template) -> tuple:
+    """``(name, shape, size)`` per template buffer, in bank storage order.
+
+    The plane packs every worker's buffers into one flat row; this spec is
+    the shared pack/unpack recipe, derived once in the parent and shipped
+    to the children inside :meth:`ShmStatePlane.spec` (it is pure data, so
+    the payload stays spawn-picklable).
+    """
+    return tuple(
+        (name, tuple(int(dim) for dim in np.shape(value)), int(np.size(value)))
+        for name, value in template.named_buffers()
+    )
+
+
+class ShmStatePlane:
+    """One sharded run's shared-memory segments: states, broadcast, buffers.
+
+    ``states`` is the ``(m, P)`` stacked worker bank in the bank dtype —
+    each shard child owns rows ``[lo, hi)`` and writes them in place on a
+    ``sync_states`` command, so the parent's gather is a read of its own
+    mapping.  ``bcast`` is the ``(P,)`` float64 averaged model the parent
+    writes before the (fire-and-forget) ``broadcast_shm`` command.
+    ``buffers`` (present only when the template has buffers) holds one
+    packed row of running statistics per worker.
+
+    NumPy views over the mappings are created lazily and dropped in
+    :meth:`close` before the segments unmap — ``mmap`` refuses to close
+    while exported buffers are live.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_workers: int,
+        n_params: int,
+        state_dtype,
+        buffer_spec: tuple = (),
+        segments: "dict[str, str] | None" = None,
+    ):
+        if _shared_memory is None:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        self.n_workers = int(n_workers)
+        self.n_params = int(n_params)
+        self.state_dtype = np.dtype(state_dtype)
+        self.buffer_spec = tuple(tuple(entry) for entry in buffer_spec)
+        self._buffer_size = sum(size for _, _, size in self.buffer_spec)
+        #: Creator side: the only side allowed to :meth:`unlink`.
+        self.owner = segments is None
+        self._views: dict = {}
+        self._segments: dict = {}
+        try:
+            for key, (shape, dtype) in self._shapes().items():
+                if self.owner:
+                    nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+                    segment = _shared_memory.SharedMemory(create=True, size=nbytes)
+                else:
+                    segment = _shared_memory.SharedMemory(name=segments[key])
+                self._segments[key] = segment
+        except BaseException:
+            # Partial construction must not leak segments: close what was
+            # mapped, and (owner only) remove it from the system.
+            self.destroy()
+            raise
+
+    def _shapes(self) -> dict:
+        shapes = {
+            "states": ((self.n_workers, self.n_params), self.state_dtype),
+            # Broadcasts arrive as float64 regardless of the bank dtype
+            # (ShardedBank.broadcast_state casts, exactly like the Pipe
+            # transport); children downcast on apply, so bytes match.
+            "bcast": ((self.n_params,), np.dtype(np.float64)),
+        }
+        if self._buffer_size:
+            shapes["buffers"] = ((self.n_workers, self._buffer_size), self.state_dtype)
+        return shapes
+
+    @classmethod
+    def create(cls, *, n_workers, n_params, state_dtype, buffer_spec=()) -> "ShmStatePlane":
+        """Allocate fresh segments (parent side; the owner)."""
+        return cls(
+            n_workers=n_workers,
+            n_params=n_params,
+            state_dtype=state_dtype,
+            buffer_spec=buffer_spec,
+        )
+
+    @classmethod
+    def attach(cls, spec: dict) -> "ShmStatePlane":
+        """Map the segments named by a :meth:`spec` recipe (child side)."""
+        return cls(
+            n_workers=spec["n_workers"],
+            n_params=spec["n_params"],
+            state_dtype=spec["state_dtype"],
+            buffer_spec=spec["buffer_spec"],
+            segments=spec["segments"],
+        )
+
+    def spec(self) -> dict:
+        """Picklable attach recipe shipped inside the shard spawn payloads."""
+        return {
+            "segments": {key: segment.name for key, segment in self._segments.items()},
+            "n_workers": self.n_workers,
+            "n_params": self.n_params,
+            "state_dtype": self.state_dtype.str,
+            "buffer_spec": self.buffer_spec,
+        }
+
+    # -- mapped views --------------------------------------------------------
+    def _view(self, key: str) -> np.ndarray:
+        view = self._views.get(key)
+        if view is None:
+            shape, dtype = self._shapes()[key]
+            view = np.ndarray(shape, dtype=dtype, buffer=self._segments[key].buf)
+            self._views[key] = view
+        return view
+
+    @property
+    def states(self) -> np.ndarray:
+        """The ``(m, P)`` stacked worker states, in the bank dtype."""
+        return self._view("states")
+
+    @property
+    def bcast(self) -> np.ndarray:
+        """The ``(P,)`` float64 broadcast vector."""
+        return self._view("bcast")
+
+    @property
+    def buffers(self) -> "np.ndarray | None":
+        """The ``(m, total_buffer_size)`` packed buffer rows, or ``None``."""
+        return self._view("buffers") if self._buffer_size else None
+
+    def write_worker_buffers(self, worker_id: int, buffers: dict) -> None:
+        """Pack one worker's buffer dict into its plane row (child side)."""
+        row, offset = self.buffers[worker_id], 0
+        for name, _, size in self.buffer_spec:
+            row[offset:offset + size] = np.asarray(
+                buffers[name], dtype=self.state_dtype
+            ).ravel()
+            offset += size
+
+    def read_worker_buffers(self, worker_id: int) -> dict:
+        """Unpack one worker's plane row back into a buffer dict (parent side)."""
+        row, offset, out = self.buffers[worker_id], 0, {}
+        for name, shape, size in self.buffer_spec:
+            out[name] = row[offset:offset + size].reshape(shape).copy()
+            offset += size
+        return out
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Drop the NumPy views and unmap the segments (both sides; idempotent)."""
+        self._views.clear()
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except (OSError, BufferError):  # pragma: no cover - teardown races
+                pass
+
+    def unlink(self) -> None:
+        """Remove the segments from the system (owner only; idempotent)."""
+        for segment in self._segments.values():
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already removed
+                pass
+
+    def destroy(self) -> None:
+        """Full teardown: close the mapping, and unlink if this side owns it."""
+        self.close()
+        if self.owner:
+            self.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShmStatePlane(m={self.n_workers}, P={self.n_params}, "
+            f"dtype={self.state_dtype.name}, buffers={self._buffer_size}, "
+            f"owner={self.owner})"
+        )

@@ -100,6 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--bank-dtype", default=None, choices=["float64", "float32"],
                         help="bank storage dtype: float64 (byte-identical default) or "
                              "float32 (reduced precision, parity within tolerance)")
+    parser.add_argument("--shard-transport", default=None, choices=["auto", "shm", "pipe"],
+                        help="sharded-pool data plane: auto (shared-memory state plane "
+                             "where available, the default), shm, or pipe — a process-"
+                             "layout knob, never changes the trajectory")
     parser.add_argument("--profile", action="store_true",
                         help="profile per-op time (im2col, GEMM, optimizer, averaging, "
                              "shard RPC, ...) and print the table after the run")
@@ -160,6 +164,8 @@ def _load_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["backend"] = args.backend
     if args.bank_dtype is not None:
         overrides["bank_dtype"] = args.bank_dtype
+    if args.shard_transport is not None:
+        overrides["shard_transport"] = args.shard_transport
     if overrides:
         try:
             config = config.with_overrides(**overrides)
@@ -183,7 +189,8 @@ def _run_sweep(args: argparse.Namespace, parser_defaults: argparse.Namespace) ->
         flag
         for flag, attr in [
             ("--config", "config"), ("--model", "model"), ("--backend", "backend"),
-            ("--bank-dtype", "bank_dtype"), ("--profile", "profile"),
+            ("--bank-dtype", "bank_dtype"), ("--shard-transport", "shard_transport"),
+            ("--profile", "profile"),
             ("--set", "overrides"), ("--scale", "scale"), ("--seed", "seed"),
             ("--save", "save"),
         ]

@@ -80,6 +80,10 @@ class ExperimentConfig:
     backend: str = "auto"
     backend_shards: int = 2
     auto_shard_threshold: "int | None" = 64
+    # Sharded-pool data plane: "auto" (the zero-copy shared-memory state
+    # plane where the platform supports it, else pipes), "shm", or "pipe".
+    # Like the other process-layout knobs this never changes a trajectory.
+    shard_transport: str = "auto"
     # Bank storage dtype: "float64" (byte-identical default) or "float32"
     # (opt-in reduced precision — half the memory traffic, parity within
     # tolerance; the loop backend stays the float64 reference regardless).
@@ -212,6 +216,11 @@ class ExperimentConfig:
         if self.bank_dtype not in ("float64", "float32"):
             raise ValueError(
                 f"unknown bank_dtype {self.bank_dtype!r}; choose 'float64' or 'float32'"
+            )
+        if self.shard_transport not in ("auto", "shm", "pipe"):
+            raise ValueError(
+                f"unknown shard_transport {self.shard_transport!r}; "
+                f"choose 'auto', 'shm', or 'pipe'"
             )
         if self.weighting not in ("uniform", "shard_size"):
             raise ValueError(

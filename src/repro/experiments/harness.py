@@ -317,6 +317,7 @@ def run_method(
         n_shards=config.backend_shards,
         auto_shard_threshold=config.auto_shard_threshold,
         bank_dtype=config.bank_dtype,
+        shard_transport=config.shard_transport,
     )
 
     try:
@@ -409,6 +410,7 @@ def run_experiment(
                 config.backend,
                 n_shards=config.backend_shards,
                 auto_shard_threshold=config.auto_shard_threshold,
+                shard_transport=config.shard_transport,
             ) as handle:
                 _run_lineup(handle)
     return store

@@ -54,11 +54,20 @@ STANDARD_METRICS = (
     ("counter", "local_steps_total"),
     ("counter", "evals_total"),
     ("counter", "bytes_averaged_total"),
+    # Sharded-transport accounting: state-plane payload bytes that crossed a
+    # pickling Pipe versus bytes moved through the zero-copy shm plane.  The
+    # shm transport's pipes carry only O(1) control tuples, so a healthy shm
+    # run keeps bytes_over_pipe at zero while bytes_via_shm counts the bank.
+    ("counter", "bytes_over_pipe"),
+    ("counter", "bytes_via_shm"),
     ("counter", "sweep_cells_executed_total"),
     ("counter", "sweep_cells_cached_total"),
     ("counter", "sweep_cells_failed_total"),
     ("gauge", "workers"),
     ("histogram", "shard_rpc_seconds"),
+    # Wall-clock time of state gathers (sync_states/get_states/mean_state),
+    # the phase the shm plane exists to accelerate.
+    ("histogram", "shard_gather_seconds"),
     ("histogram", "straggler_wait_virtual_seconds"),
 )
 

@@ -19,6 +19,7 @@ trajectories and content addresses can never depend on when they ran.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -75,13 +76,14 @@ class _Scope:
     def __exit__(self, *exc) -> None:
         dt = time.perf_counter() - self._t0  # repro: ignore[DET002] the profiler is the sanctioned real-time reader
         path = self._profiler._stack.pop()
-        stats = self._profiler._stats
-        entry = stats.get(path)
-        if entry is None:
-            stats[path] = [1, dt]
-        else:
-            entry[0] += 1
-            entry[1] += dt
+        with self._profiler._lock:
+            stats = self._profiler._stats
+            entry = stats.get(path)
+            if entry is None:
+                stats[path] = [1, dt]
+            else:
+                entry[0] += 1
+                entry[1] += dt
 
 
 class Profiler:
@@ -99,6 +101,13 @@ class Profiler:
     sharded backend therefore do not report into the parent's profiler — the
     parent's ``shard_rpc.*`` scopes measure request/reply round-trips, which
     is the quantity the parent can actually act on.
+
+    Thread safety: the nesting stack is thread-local (the in-process sharded
+    transport drives its shard servers on a thread pool, and each thread's
+    scopes must nest under that thread's own path, never a sibling's) while
+    the stats table is shared under a lock, so concurrent scopes accumulate
+    into one report.  Both costs are paid only while a profiler is active —
+    the disabled path is still the shared ``nullcontext``.
     """
 
     #: The process-wide active profiler, or ``None`` (profiling disabled).
@@ -106,7 +115,16 @@ class Profiler:
 
     def __init__(self):
         self._stats: dict[str, list] = {}  # path -> [calls, total_seconds]
-        self._stack: list[str] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    @property
+    def _stack(self) -> list:
+        """This thread's scope-nesting stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- activation ---------------------------------------------------------
     def enable(self) -> "Profiler":

@@ -81,8 +81,17 @@ def stochastic_runtime():
 # buffers), and the positions of every RNG stream — must be *byte-identical*
 # to the loop reference implementation.  Exact equality, no tolerances.
 
-#: Backends checked against the "loop" reference.
-EQUIVALENCE_BACKENDS = ("vectorized", "sharded")
+#: Backends checked against the "loop" reference.  "sharded" and
+#: "sharded-shm" are the same backend on its two data planes — the matrix
+#: pins byte-identity for the Pipe protocol AND the shared-memory plane.
+EQUIVALENCE_BACKENDS = ("vectorized", "sharded", "sharded-shm")
+
+#: pseudo-backend name -> (real backend registry name, shard transport).
+BACKEND_TRANSPORTS = {
+    "vectorized": ("vectorized", "auto"),
+    "sharded": ("sharded", "pipe"),
+    "sharded-shm": ("sharded", "shm"),
+}
 
 #: Every class in ``src/`` overriding ``bank_forward`` with a concrete
 #: implementation.  Pinned in two directions: the ``BANK001`` analysis rule
@@ -238,9 +247,13 @@ def build_equivalence_cluster(case: EquivalenceCase, backend: str, n_workers: in
     """A small seeded cluster for one matrix workload on one backend.
 
     Sharded clusters run on 2 processes (close them after use); all other
-    knobs are identical across backends by construction.
+    knobs are identical across backends by construction.  ``backend`` may be
+    a pseudo-backend from :data:`BACKEND_TRANSPORTS` (e.g. "sharded-shm"),
+    which resolves to the real backend name plus a pinned shard transport.
     """
     from repro.distributed.cluster import SimulatedCluster
+
+    backend, shard_transport = BACKEND_TRANSPORTS.get(backend, (backend, "auto"))
 
     dataset = (
         None
@@ -271,6 +284,7 @@ def build_equivalence_cluster(case: EquivalenceCase, backend: str, n_workers: in
         seed=17,
         backend=backend,
         n_shards=2,
+        shard_transport=shard_transport,
     )
 
 

@@ -252,6 +252,61 @@ def test_spawn001_allows_module_level_and_partial(tmp_path):
     assert report.ok
 
 
+# -- SHM001 ------------------------------------------------------------------
+
+
+def test_shm001_flags_class_creating_without_unlink(tmp_path):
+    source = (
+        "from multiprocessing import shared_memory\n"
+        "class Plane:\n"
+        "    def __init__(self, size):\n"
+        "        self.seg = shared_memory.SharedMemory(create=True, size=size)\n"
+        "    def close(self):\n"
+        "        self.seg.close()\n"
+    )
+    report = _run(tmp_path, {"repro/x.py": source}, select=["SHM001"])
+    (finding,) = report.findings
+    assert finding.rule == "SHM001"
+    assert "unlink()" in finding.message
+    assert "close()" not in finding.message  # close IS present
+
+
+def test_shm001_flags_module_level_create_with_no_teardown(tmp_path):
+    source = (
+        "from multiprocessing.shared_memory import SharedMemory\n"
+        "SEG = SharedMemory('scratch', True, 64)\n"  # positional create=True
+    )
+    report = _run(tmp_path, {"repro/x.py": source}, select=["SHM001"])
+    (finding,) = report.findings
+    assert "close()" in finding.message and "unlink()" in finding.message
+    assert finding.line == 2
+
+
+def test_shm001_allows_owner_with_full_teardown_and_attach(tmp_path):
+    source = (
+        "from multiprocessing import shared_memory\n"
+        "class Plane:\n"
+        "    def __init__(self, size):\n"
+        "        self.seg = shared_memory.SharedMemory(create=True, size=size)\n"
+        "    def destroy(self):\n"
+        "        self.seg.close()\n"
+        "        self.seg.unlink()\n"
+        "def attach(name):\n"
+        "    return shared_memory.SharedMemory(name=name, create=False)\n"
+    )
+    report = _run(tmp_path, {"repro/x.py": source}, select=["SHM001"])
+    assert report.ok
+
+
+def test_shm001_ships_clean_on_the_real_transport_module(tmp_path):
+    # The actual transport layer must satisfy its own rule.
+    from pathlib import Path as _Path
+
+    source = _Path("src/repro/distributed/transport.py").read_text()
+    report = _run(tmp_path, {"repro/distributed/transport.py": source}, select=["SHM001"])
+    assert report.ok
+
+
 # -- HASH001 -----------------------------------------------------------------
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import pytest
 
 from tests.conftest import (
+    BACKEND_TRANSPORTS,
     EQUIVALENCE_BACKENDS,
     EquivalenceCase,
     assert_fingerprints_identical,
@@ -48,8 +49,11 @@ def loop_fingerprints():
 @pytest.mark.parametrize("case", CASES, ids=[c.id for c in CASES])
 def test_backend_matches_loop_reference(case, backend, loop_fingerprints):
     cluster = build_equivalence_cluster(case, backend)
+    real_backend, transport = BACKEND_TRANSPORTS.get(backend, (backend, "auto"))
     try:
-        assert cluster.backend_name == backend
+        assert cluster.backend_name == real_backend
+        if transport != "auto":
+            assert cluster.backend.transport == transport
         fingerprint = trajectory_fingerprint(cluster)
     finally:
         cluster.close()

@@ -222,8 +222,12 @@ class TestShardedBackendSurface:
     def test_deferred_broadcast_ack_error_surfaces_on_next_command(self):
         # broadcast/set_lr/reset_momentum acks are fire-and-forget; a shard
         # failure must still surface — on the next synchronizing command,
-        # attributed to the command that actually failed.
-        cluster = _cluster("sharded", _registry_model_fn("mlp"), 4)
+        # attributed to the command that actually failed.  Pinned to the
+        # Pipe transport: over the shm plane a malformed broadcast fails
+        # fast in the parent instead (covered below).
+        cluster = _cluster(
+            "sharded", _registry_model_fn("mlp"), 4, shard_transport="pipe"
+        )
         try:
             backend = cluster.backend
             backend.broadcast_state(np.zeros(3))  # wrong length, returns at once
@@ -231,6 +235,21 @@ class TestShardedBackendSurface:
                 backend.get_stacked_states()
             # The drain consumed every queued reply, so the pool protocol is
             # back in sync and the backend keeps working.
+            assert len(backend.get_stacked_states()) == 4
+        finally:
+            cluster.close()
+
+    def test_shm_malformed_broadcast_fails_fast_in_parent(self):
+        # The shm plane write validates the broadcast length before any
+        # command is sent, so the error is immediate and the pool unharmed.
+        cluster = _cluster(
+            "sharded", _registry_model_fn("mlp"), 4, shard_transport="shm"
+        )
+        try:
+            backend = cluster.backend
+            assert backend.transport == "shm"
+            with pytest.raises(ValueError, match="broadcast"):
+                backend.broadcast_state(np.zeros(3))
             assert len(backend.get_stacked_states()) == 4
         finally:
             cluster.close()
