@@ -15,6 +15,10 @@ The rule fires on:
 * any ``json.dumps(...)`` lacking ``sort_keys=True`` in the store/result
   modules (``sweep/``, ``utils/results.py``), where every serialization
   either feeds a hash or a golden-compared file;
+* any ``json.dumps(...)`` in those modules lacking ``allow_nan=False`` —
+  Python's permissive default writes bare ``NaN``/``Infinity`` tokens,
+  which no RFC 8259 parser accepts and whose spelling is
+  writer-dependent, so both portability and content addresses break;
 * iteration directly over a set literal / ``set(...)`` /
   set-comprehension in those modules — set order is salted per process,
   so anything derived from it must go through ``sorted(...)`` first.
@@ -62,6 +66,13 @@ def _has_sort_keys(node: ast.Call) -> bool:
     return False
 
 
+def _has_allow_nan_false(node: ast.Call) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "allow_nan":
+            return isinstance(keyword.value, ast.Constant) and keyword.value.value is False
+    return False
+
+
 def _dumps_aliases(tree: ast.Module) -> set[str]:
     """Names that ``from json import dumps [as d]`` binds in this module."""
     aliases = set()
@@ -101,19 +112,27 @@ class CanonicalHashRule(Rule):
                 chain = dotted_chain(node.func)
                 if len(chain) == 2 and chain[0] == "hashlib" and chain[1] in _HASHLIB_CONSTRUCTORS:
                     yield from self._check_hash_input(module, node, dumps_aliases, flagged)
-                elif (
-                    in_store_path
-                    and _is_json_dumps(node, dumps_aliases)
-                    and not _has_sort_keys(node)
-                    and (node.lineno, node.col_offset) not in flagged
-                ):
-                    flagged.add((node.lineno, node.col_offset))
-                    yield self._finding(
-                        module,
-                        node,
-                        "json.dumps in a store/hash module without sort_keys=True; "
-                        "content addresses require canonical key order",
-                    )
+                elif in_store_path and _is_json_dumps(node, dumps_aliases):
+                    if (
+                        not _has_sort_keys(node)
+                        and (node.lineno, node.col_offset) not in flagged
+                    ):
+                        flagged.add((node.lineno, node.col_offset))
+                        yield self._finding(
+                            module,
+                            node,
+                            "json.dumps in a store/hash module without sort_keys=True; "
+                            "content addresses require canonical key order",
+                        )
+                    if not _has_allow_nan_false(node):
+                        yield self._finding(
+                            module,
+                            node,
+                            "json.dumps in a store/hash module without allow_nan=False; "
+                            "the permissive default writes bare NaN/Infinity tokens "
+                            "that no RFC 8259 parser accepts — encode non-finite "
+                            "floats as sentinels and pass allow_nan=False",
+                        )
             if in_store_path:
                 yield from self._check_set_iteration(module, node)
 

@@ -23,6 +23,9 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.theory import TheoreticalConstants, optimal_communication_period
+from repro.utils.logging import get_logger
+
+logger = get_logger("core.adacomm")
 
 __all__ = [
     "basic_tau_update",
@@ -104,10 +107,13 @@ def refined_tau_update(
 
 
 def _validate_losses(initial_loss: float, current_loss: float) -> None:
-    if initial_loss <= 0:
-        raise ValueError(f"initial loss must be positive, got {initial_loss}")
-    if current_loss < 0:
-        raise ValueError(f"current loss must be non-negative, got {current_loss}")
+    # NaN passes every ordered comparison's False branch (nan < 0 is False),
+    # so finiteness is checked explicitly — a NaN that slipped through here
+    # used to surface as ``math.ceil(nan * tau)`` deep in the update rules.
+    if not math.isfinite(initial_loss) or initial_loss <= 0:
+        raise ValueError(f"initial loss must be positive and finite, got {initial_loss}")
+    if not math.isfinite(current_loss) or current_loss < 0:
+        raise ValueError(f"current loss must be non-negative and finite, got {current_loss}")
 
 
 def estimate_initial_tau(
@@ -244,6 +250,18 @@ class AdaCommController:
         """
         if wall_time < 0:
             raise ValueError("wall_time must be non-negative")
+        if not math.isfinite(train_loss):
+            # A diverging run reports NaN (or inf) losses; adapting on one
+            # would poison every later τ (and ceil(nan·τ) raises).  Keep the
+            # previous period and wait for a finite observation — the next
+            # boundary crossing adapts with whatever loss is reported then.
+            logger.warning(
+                "ignoring non-finite training loss %r at t=%.3f; keeping tau=%d",
+                train_loss,
+                wall_time,
+                self._tau,
+            )
+            return self._tau
         if train_loss < 0:
             raise ValueError("train_loss must be non-negative")
         if lr <= 0:

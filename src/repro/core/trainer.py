@@ -40,7 +40,7 @@ from repro.utils.logging import get_logger
 from repro.utils.results import MetricPoint, RunRecord
 from repro.utils.seeding import check_random_state
 
-__all__ = ["TrainerConfig", "PASGDTrainer"]
+__all__ = ["TrainerConfig", "PASGDTrainer", "AsyncPASGDTrainer"]
 
 logger = get_logger("core.trainer")
 
@@ -186,6 +186,27 @@ class PASGDTrainer:
             return epochs
         return self.cluster.total_local_iterations / self.config.iterations_per_epoch
 
+    # -- round execution ------------------------------------------------------
+    def _execute_round(self, tau: int, lr: float, round_index: int) -> tuple[float, dict]:
+        """One communication round; returns (period loss, extra point fields).
+
+        The synchronous implementation is the paper's PASGD round — τ local
+        steps at every worker, then the averaging collective (which the
+        cluster routes through gossip mixing on a non-complete topology).
+        :class:`AsyncPASGDTrainer` overrides this with the barrier-free
+        parameter-server generation.
+        """
+        # The span's virtual duration is the round's simulated cost.
+        with span("round", clock=self.cluster.clock, round=round_index, tau=tau, lr=lr):
+            period_loss = self.cluster.run_local_period(tau)
+
+            extra: dict[str, float] = {}
+            if self.config.record_discrepancy:
+                extra["model_discrepancy"] = self.cluster.model_discrepancy()
+
+            self.cluster.average_models()
+        return period_loss, extra
+
     # -- main loop -----------------------------------------------------------
     def train(self) -> RunRecord:
         """Run until the wall-clock or iteration budget is exhausted."""
@@ -216,8 +237,9 @@ class PASGDTrainer:
                 lr=self.lr_schedule.initial_lr,
             )
         )
-        # Seed adaptive schedules with the starting loss.
-        if not math.isnan(initial_loss):
+        # Seed adaptive schedules with the starting loss (a non-finite loss
+        # would poison AdaComm's reference F_0, so it is simply not reported).
+        if math.isfinite(initial_loss):
             self.schedule.observe(0.0, max(initial_loss, 0.0), self.lr_schedule.initial_lr)
 
         rounds = 0
@@ -229,16 +251,7 @@ class PASGDTrainer:
             lr = self.lr_schedule.lr_at(self._current_epoch(), tau=tau)
             self.cluster.set_lr(lr)
 
-            # One PASGD round: τ local steps, then the averaging collective.
-            # The span's virtual duration is the round's simulated cost.
-            with span("round", clock=self.cluster.clock, round=rounds + 1, tau=tau, lr=lr):
-                period_loss = self.cluster.run_local_period(tau)
-
-                extra: dict[str, float] = {}
-                if cfg.record_discrepancy:
-                    extra["model_discrepancy"] = self.cluster.model_discrepancy()
-
-                self.cluster.average_models()
+            period_loss, extra = self._execute_round(tau, lr, rounds + 1)
             rounds += 1
             counter_inc("rounds_total")
 
@@ -268,6 +281,27 @@ class PASGDTrainer:
             )
             self.schedule.observe(wall_time, max(train_loss, 0.0), lr)
 
+        if rounds > 0 and rounds % cfg.eval_every_rounds != 0:
+            # The budget expired on a non-eval round, so the last logged point
+            # carries the period-loss proxy and test_accuracy=nan — evaluate
+            # the final synchronized model once so every run ends on a real
+            # measurement (final-accuracy readers and the error-runtime
+            # frontier consume the last point).
+            with span("eval", clock=self.cluster.clock, round=rounds):
+                final_loss = self._eval_train_loss(fallback_loss=period_loss)
+                final_acc = self._eval_test_accuracy()
+            counter_inc("evals_total")
+            record.log(
+                MetricPoint(
+                    iteration=self.cluster.total_local_iterations,
+                    wall_time=self.cluster.clock.now,
+                    train_loss=final_loss,
+                    test_accuracy=final_acc,
+                    tau=tau,
+                    lr=lr,
+                )
+            )
+
         logger.debug(
             "run %s finished: %d rounds, %d iterations, %.2f simulated seconds",
             self.name,
@@ -276,3 +310,36 @@ class PASGDTrainer:
             self.cluster.clock.now,
         )
         return record
+
+
+class AsyncPASGDTrainer(PASGDTrainer):
+    """Asynchronous local SGD under a parameter server with staleness.
+
+    Identical to :class:`PASGDTrainer` except for how a round executes:
+    instead of the barrier-synchronized PASGD round, each generation runs
+    :meth:`SimulatedCluster.run_async_round` — workers push their τ-step
+    updates as they finish (per-worker virtual clocks, arrival-ordered
+    server folds, per-update staleness tracking) and the optional
+    ``staleness_damping`` shrinks the server step for staler updates,
+    ``w = 1 / (m · (1 + damping · s))``.  Schedules, evaluation cadence,
+    budgets, and the logged trajectory work exactly as in the synchronous
+    trainer; the "synchronized" model evaluated is the server's state.
+    """
+
+    def __init__(self, *args, staleness_damping: float = 0.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if staleness_damping < 0:
+            raise ValueError(
+                f"staleness_damping must be non-negative, got {staleness_damping}"
+            )
+        self.staleness_damping = float(staleness_damping)
+
+    def _execute_round(self, tau: int, lr: float, round_index: int) -> tuple[float, dict]:
+        with span("round", clock=self.cluster.clock, round=round_index, tau=tau, lr=lr):
+            period_loss = self.cluster.run_async_round(
+                tau, staleness_damping=self.staleness_damping
+            )
+            extra: dict[str, float] = {}
+            if self.config.record_discrepancy:
+                extra["model_discrepancy"] = self.cluster.model_discrepancy()
+        return period_loss, extra

@@ -99,6 +99,23 @@ class WorkerBackend:
         """Overwrite every worker's parameters with one flat vector."""
         raise NotImplementedError
 
+    def set_stacked_states(self, states: np.ndarray) -> None:
+        """Scatter per-worker parameters: row i of ``(m, P)`` goes to worker i.
+
+        The inverse of :meth:`get_stacked_states`, used by the decentralized
+        paths (gossip mixing, async server pulls) where workers end a round
+        with *different* states instead of one broadcast vector.  The default
+        loops over the per-worker handles — every backend's views expose
+        ``set_parameters`` — so only backends with a faster bulk write need
+        to override.
+        """
+        if states.shape[0] != self.n_workers:
+            raise ValueError(
+                f"expected {self.n_workers} state rows, got {states.shape[0]}"
+            )
+        for worker, flat in zip(self.workers, states):
+            worker.set_parameters(flat)
+
     def mean_state(self) -> "tuple[np.ndarray, int]":
         """Uniform mean of all worker states and the gathered byte count.
 

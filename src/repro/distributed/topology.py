@@ -24,15 +24,22 @@ except ImportError:  # pragma: no cover - networkx is installed in this environm
     nx = None
 
 __all__ = [
+    "TOPOLOGIES",
     "complete_mixing_matrix",
     "ring_mixing_matrix",
     "star_mixing_matrix",
+    "chordal_ring_graph",
     "metropolis_hastings_weights",
+    "mixing_matrix_for",
     "spectral_gap",
     "mix_states",
     "consensus_distance",
     "rounds_to_consensus",
 ]
+
+#: Topology names accepted by :func:`mixing_matrix_for` (and hence by
+#: ``SimulatedCluster(topology=...)`` and ``ExperimentConfig.topology``).
+TOPOLOGIES = ("complete", "ring", "star", "mh")
 
 
 def _validate_m(m: int) -> None:
@@ -107,6 +114,43 @@ def metropolis_hastings_weights(graph) -> np.ndarray:
     for i in range(m):
         W[i, i] = 1.0 - W[i].sum()
     return W
+
+
+def chordal_ring_graph(m: int):
+    """The deterministic graph behind the ``"mh"`` topology: a cycle plus chords.
+
+    For m ≥ 5 each node i also links to i+2 (mod m), giving every node degree
+    4 — dense enough that the Metropolis-Hastings weights differ from the
+    plain ring, sparse enough to stay decentralized.  Small clusters (m ≤ 4)
+    fall back to the complete graph, where MH weighting is still well defined.
+    """
+    if nx is None:  # pragma: no cover
+        raise ImportError("networkx is required for the 'mh' topology")
+    _validate_m(m)
+    if m <= 4:
+        return nx.complete_graph(m)
+    graph = nx.cycle_graph(m)
+    graph.add_edges_from((i, (i + 2) % m) for i in range(m))
+    return graph
+
+
+def mixing_matrix_for(topology: str, m: int) -> np.ndarray:
+    """Resolve a topology name to its doubly-stochastic mixing matrix.
+
+    ``"complete"`` is PASGD's exact collective (one gossip round averages
+    exactly); ``"ring"`` and ``"star"`` use the closed-form matrices above;
+    ``"mh"`` builds Metropolis-Hastings weights over the deterministic
+    chordal-ring graph.
+    """
+    if topology == "complete":
+        return complete_mixing_matrix(m)
+    if topology == "ring":
+        return ring_mixing_matrix(m)
+    if topology == "star":
+        return star_mixing_matrix(m)
+    if topology == "mh":
+        return metropolis_hastings_weights(chordal_ring_graph(m))
+    raise ValueError(f"unknown topology {topology!r}; choose one of {TOPOLOGIES}")
 
 
 def _validate_mixing_matrix(W: np.ndarray) -> np.ndarray:

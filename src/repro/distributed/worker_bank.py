@@ -203,6 +203,10 @@ class WorkerBank(WorkerBackend):
     def broadcast_state(self, flat: np.ndarray) -> None:
         self.bank.broadcast_flat(flat)
 
+    def set_stacked_states(self, states: np.ndarray) -> None:
+        # One bulk write into the stacked storage instead of m row writes.
+        self.bank.set_stacked_flat(states)
+
     # -- hyper-parameter control -------------------------------------------------
     def set_lr(self, lr: float) -> None:
         self.optimizer.set_lr(lr)

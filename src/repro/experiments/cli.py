@@ -104,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="sharded-pool data plane: auto (shared-memory state plane "
                              "where available, the default), shm, or pipe — a process-"
                              "layout knob, never changes the trajectory")
+    parser.add_argument("--topology", default=None,
+                        choices=["complete", "ring", "star", "mh"],
+                        help="communication graph for the averaging step: complete "
+                             "(exact all-node average, the default) or a decentralized "
+                             "gossip topology (ring, star, mh = Metropolis-Hastings); "
+                             "gossip rounds per step via --set gossip_rounds=N")
+    parser.add_argument("--staleness", type=float, default=None, metavar="DAMPING",
+                        help="staleness damping for async method specs (fold-in weight "
+                             "1/(m*(1+damping*staleness))); only read by methods like "
+                             "'async-tau8'")
     parser.add_argument("--profile", action="store_true",
                         help="profile per-op time (im2col, GEMM, optimizer, averaging, "
                              "shard RPC, ...) and print the table after the run")
@@ -166,6 +176,10 @@ def _load_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["bank_dtype"] = args.bank_dtype
     if args.shard_transport is not None:
         overrides["shard_transport"] = args.shard_transport
+    if args.topology is not None:
+        overrides["topology"] = args.topology
+    if args.staleness is not None:
+        overrides["staleness_damping"] = args.staleness
     if overrides:
         try:
             config = config.with_overrides(**overrides)
@@ -190,6 +204,7 @@ def _run_sweep(args: argparse.Namespace, parser_defaults: argparse.Namespace) ->
         for flag, attr in [
             ("--config", "config"), ("--model", "model"), ("--backend", "backend"),
             ("--bank-dtype", "bank_dtype"), ("--shard-transport", "shard_transport"),
+            ("--topology", "topology"), ("--staleness", "staleness"),
             ("--profile", "profile"),
             ("--set", "overrides"), ("--scale", "scale"), ("--seed", "seed"),
             ("--save", "save"),

@@ -37,11 +37,25 @@ from repro.api.registries import (
 )
 from repro.api.registry import filter_kwargs
 from repro.data.synthetic import Dataset
+from repro.distributed.topology import TOPOLOGIES
 
 __all__ = ["ExperimentConfig", "make_config", "available_configs", "config_spec"]
 
 # Fields stored as tuples but serialized as JSON lists.
 _TUPLE_FIELDS = ("hidden_sizes", "lr_decay_milestones", "fixed_taus", "methods")
+
+# Fields serialized only when they differ from their default.  These were
+# added after stores and golden fixtures existed; at the default they are
+# trajectory-preserving no-ops, so eliding them keeps previously rendered
+# config dicts byte-identical — golden fixtures stay green and sweep-cell
+# content addresses (which hash ``to_dict()``) remain pure cache hits.
+_SPARSE_FIELDS: dict[str, Any] = {
+    "topology": "complete",
+    "gossip_rounds": 1,
+    "staleness_damping": 0.0,
+    "elastic_dropout_prob": 0.0,
+    "elastic_deadline": None,
+}
 
 
 @dataclass(frozen=True)
@@ -91,6 +105,20 @@ class ExperimentConfig:
     # Averaging-collective weighting: "uniform" (paper, eq. 3) or
     # "shard_size" (FedAvg-style, for unbalanced partitions).
     weighting: str = "uniform"
+    # Communication graph for the averaging step: "complete" (default — the
+    # paper's exact all-node average) or a decentralized gossip topology
+    # ("ring", "star", "mh" = Metropolis-Hastings over a chordal ring), with
+    # ``gossip_rounds`` mixing rounds per communication step.
+    topology: str = "complete"
+    gossip_rounds: int = 1
+    # Async parameter-server mode: staleness-damped fold-in weight
+    # 1/(m·(1+damping·staleness)).  Only read by async method specs.
+    staleness_damping: float = 0.0
+    # Elastic stragglers: per-round worker dropout by probability and/or a
+    # compute-time deadline; dropped workers skip that round's average and
+    # rejoin at the broadcast.
+    elastic_dropout_prob: float = 0.0
+    elastic_deadline: "float | None" = None
     # Delay model (all times in units of the mean compute time).  ``delay`` is
     # either a registered distribution name, whose parameters are derived from
     # ``compute_time`` / ``compute_time_std_fraction`` (moment matching), or a
@@ -167,6 +195,8 @@ class ExperimentConfig:
             if f.name == "dataset_fn":
                 continue
             value = getattr(self, f.name)
+            if f.name in _SPARSE_FIELDS and value == _SPARSE_FIELDS[f.name]:
+                continue
             if isinstance(value, tuple):
                 value = list(value)
             elif isinstance(value, dict):
@@ -225,6 +255,24 @@ class ExperimentConfig:
         if self.weighting not in ("uniform", "shard_size"):
             raise ValueError(
                 f"unknown weighting {self.weighting!r}; choose 'uniform' or 'shard_size'"
+            )
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; choose from {list(TOPOLOGIES)}"
+            )
+        if self.gossip_rounds < 1:
+            raise ValueError(f"gossip_rounds must be >= 1, got {self.gossip_rounds}")
+        if self.staleness_damping < 0:
+            raise ValueError(
+                f"staleness_damping must be non-negative, got {self.staleness_damping}"
+            )
+        if not 0.0 <= self.elastic_dropout_prob < 1.0:
+            raise ValueError(
+                f"elastic_dropout_prob must be in [0, 1), got {self.elastic_dropout_prob}"
+            )
+        if self.elastic_deadline is not None and self.elastic_deadline <= 0:
+            raise ValueError(
+                f"elastic_deadline must be positive or None, got {self.elastic_deadline}"
             )
         return self
 

@@ -23,7 +23,7 @@ models without a bank path.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -31,7 +31,7 @@ import numpy as np
 from repro.api.registries import COMM_SCHEDULES, DELAYS, LR_SCHEDULES, MODELS
 from repro.api.registry import filter_kwargs
 from repro.core.schedules import CommunicationSchedule
-from repro.core.trainer import PASGDTrainer, TrainerConfig
+from repro.core.trainer import AsyncPASGDTrainer, PASGDTrainer, TrainerConfig
 from repro.data.synthetic import Dataset
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.reuse import BackendHandle
@@ -59,10 +59,21 @@ logger = get_logger("experiments.harness")
 
 @dataclass(frozen=True)
 class MethodSpec:
-    """One method to run: a label plus a factory for its communication schedule."""
+    """One method to run: a label plus a factory for its communication schedule.
+
+    ``overrides`` are :class:`ExperimentConfig` fields the method imposes on
+    top of the experiment's config (e.g. a gossip spec sets ``topology``);
+    :func:`run_method` applies them before building the cluster, so one
+    lineup can mix synchronous, gossip, async, and elastic methods on the
+    same workload.  ``mode`` selects the execution loop: ``"sync"`` (the
+    paper's barriered periodic averaging) or ``"async"`` (arrival-ordered
+    parameter-server folds via :class:`AsyncPASGDTrainer`).
+    """
 
     label: str
     schedule_fn: Callable[[], CommunicationSchedule]
+    overrides: dict = field(default_factory=dict)
+    mode: str = "sync"
 
 
 def _split_top_level(argstr: str) -> list[str]:
@@ -108,6 +119,12 @@ def parse_method_spec(spec: "str | MethodSpec", config: ExperimentConfig) -> Met
     * ``"sync-sgd"`` — fixed τ = 1;
     * ``"pasgd-tau<N>"`` — fixed τ = N;
     * ``"adacomm"`` — ADACOMM with the config's interval / initial τ;
+    * ``"gossip-<topology>-tau<N>"`` or ``"gossip:topology=ring,tau=4,rounds=2"``
+      — decentralized gossip averaging over a fixed-τ schedule;
+    * ``"async-tau<N>"`` or ``"async:tau=8,damping=0.3"`` — barrier-free
+      parameter-server execution with optional staleness damping;
+    * ``"elastic:p=0.1,tau=4"`` (and/or ``deadline=<t>``) — fixed-τ averaging
+      with seeded per-round worker dropout;
     * ``"<name>"`` or ``"<name>:key=value,..."`` — any schedule registered in
       ``COMM_SCHEDULES`` (e.g. ``"fixed:tau=4"``, ``"adacomm:initial_tau=50"``).
     """
@@ -115,6 +132,9 @@ def parse_method_spec(spec: "str | MethodSpec", config: ExperimentConfig) -> Met
         return spec
     name, _, argstr = spec.partition(":")
     kwargs = _parse_spec_kwargs(argstr)
+    overrides: dict = {}
+    mode = "sync"
+    label: "str | None" = None
     if name == "sync-sgd":
         kwargs.setdefault("tau", 1)
         name = "fixed"
@@ -132,6 +152,71 @@ def parse_method_spec(spec: "str | MethodSpec", config: ExperimentConfig) -> Met
         kwargs.setdefault("initial_tau", config.adacomm_initial_tau)
         kwargs.setdefault("interval_length", config.adacomm_interval)
         kwargs.setdefault("couple_lr", True)
+    elif name == "gossip" or name.startswith("gossip-"):
+        topology = kwargs.pop("topology", None)
+        rounds = int(kwargs.pop("rounds", kwargs.pop("gossip_rounds", config.gossip_rounds)))
+        if name != "gossip":
+            body, sep, tau_part = name[len("gossip-"):].rpartition("-tau")
+            if not sep or not body:
+                raise ValueError(
+                    f"method spec {spec!r} is malformed; e.g. 'gossip-ring-tau4'"
+                )
+            topology = body
+            try:
+                kwargs.setdefault("tau", int(tau_part))
+            except ValueError:
+                raise ValueError(
+                    f"method spec {spec!r} has a malformed tau; e.g. 'gossip-ring-tau4'"
+                ) from None
+        if topology is None:
+            raise ValueError(
+                f"method spec {spec!r} needs a topology; e.g. 'gossip-ring-tau4' "
+                f"or 'gossip:topology=ring,tau=4'"
+            )
+        kwargs.setdefault("tau", 1)
+        overrides = {"topology": str(topology), "gossip_rounds": rounds}
+        label = f"gossip-{topology}-tau{kwargs['tau']}"
+        if rounds != 1:
+            label += f"-r{rounds}"
+        name = "fixed"
+    elif name == "async" or name.startswith("async-tau"):
+        damping = float(
+            kwargs.pop("damping", kwargs.pop("staleness_damping", config.staleness_damping))
+        )
+        if name != "async":
+            try:
+                kwargs.setdefault("tau", int(name[len("async-tau"):]))
+            except ValueError:
+                raise ValueError(
+                    f"method spec {spec!r} has a malformed tau; e.g. 'async-tau8'"
+                ) from None
+        kwargs.setdefault("tau", 1)
+        mode = "async"
+        if damping > 0.0:
+            overrides = {"staleness_damping": damping}
+        label = f"async-tau{kwargs['tau']}"
+        if damping > 0.0:
+            label += f"-d{damping:g}"
+        name = "fixed"
+    elif name == "elastic":
+        prob = float(
+            kwargs.pop("p", kwargs.pop("dropout_prob", config.elastic_dropout_prob))
+        )
+        deadline = kwargs.pop("deadline", config.elastic_deadline)
+        deadline = float(deadline) if deadline is not None else None
+        if prob == 0.0 and deadline is None:
+            raise ValueError(
+                f"method spec {spec!r} needs a dropout probability or deadline; "
+                f"e.g. 'elastic:p=0.1,tau=4'"
+            )
+        kwargs.setdefault("tau", 1)
+        overrides = {"elastic_dropout_prob": prob, "elastic_deadline": deadline}
+        label = f"elastic-tau{kwargs['tau']}"
+        if prob > 0.0:
+            label += f"-p{prob:g}"
+        if deadline is not None:
+            label += f"-d{deadline:g}"
+        name = "fixed"
     factory = COMM_SCHEDULES.get(name)  # raises with available names if unknown
 
     kwargs_snapshot = dict(kwargs)
@@ -143,13 +228,18 @@ def parse_method_spec(spec: "str | MethodSpec", config: ExperimentConfig) -> Met
     # "pasgd-tau20", "adacomm", ...); schedules are cheap to construct.  It
     # also validates the arguments up front, where the spec string is known.
     try:
-        label = schedule_fn().label
+        schedule_label = schedule_fn().label
     except TypeError as err:
         raise ValueError(
             f"method spec {spec!r} has missing or invalid arguments ({err}); "
             f"e.g. 'pasgd-tau8' or 'fixed:tau=8'"
         ) from err
-    return MethodSpec(label=label, schedule_fn=schedule_fn)
+    return MethodSpec(
+        label=label if label is not None else schedule_label,
+        schedule_fn=schedule_fn,
+        overrides=overrides,
+        mode=mode,
+    )
 
 
 def default_methods(config: ExperimentConfig) -> list[MethodSpec]:
@@ -286,6 +376,17 @@ def run_method(
     the per-run ``cluster.close()`` here leaves it alive.
     """
     method = parse_method_spec(method, config)
+    if method.overrides:
+        # Method-imposed config fields (topology, dropout, damping).  Applied
+        # *after* the dataset split below uses the original seed stream, so a
+        # gossip/async/elastic method shares the exact split of its
+        # synchronous siblings in the same lineup.
+        config = config.with_overrides(**method.overrides).validate()
+    if method.mode == "async" and config.topology != "complete":
+        raise ValueError(
+            "async execution uses a central parameter server; it cannot be "
+            f"combined with topology={config.topology!r}"
+        )
     seeds = SeedSequence(config.seed)
     if train_set is None or test_set is None:
         train_set, test_set = _split_dataset(config, seeds.generator())
@@ -318,11 +419,15 @@ def run_method(
         auto_shard_threshold=config.auto_shard_threshold,
         bank_dtype=config.bank_dtype,
         shard_transport=config.shard_transport,
+        topology=config.topology,
+        gossip_rounds=config.gossip_rounds,
+        dropout_prob=config.elastic_dropout_prob,
+        dropout_deadline=config.elastic_deadline,
     )
 
     try:
         iters_per_epoch = max(1, len(train_set) // (config.batch_size * config.n_workers))
-        trainer = PASGDTrainer(
+        trainer_kwargs = dict(
             cluster=cluster,
             schedule=method.schedule_fn(),
             lr_schedule=_build_lr_schedule(config),
@@ -337,6 +442,12 @@ def run_method(
             name=method.label,
             rng=seeds.generator(),
         )
+        if method.mode == "async":
+            trainer = AsyncPASGDTrainer(
+                staleness_damping=config.staleness_damping, **trainer_kwargs
+            )
+        else:
+            trainer = PASGDTrainer(**trainer_kwargs)
         with span(
             "method",
             clock=cluster.clock,
@@ -357,6 +468,17 @@ def run_method(
                 "backend": cluster.backend_name,
             }
         )
+        # Method-family fields ride along only when non-default, so records
+        # from classic sync methods keep their exact golden-fixture bytes.
+        if config.topology != "complete":
+            record.config["topology"] = config.topology
+            record.config["gossip_rounds"] = config.gossip_rounds
+        if method.mode != "sync":
+            record.config["mode"] = method.mode
+            record.config["staleness_damping"] = config.staleness_damping
+        if config.elastic_dropout_prob > 0.0 or config.elastic_deadline is not None:
+            record.config["elastic_dropout_prob"] = config.elastic_dropout_prob
+            record.config["elastic_deadline"] = config.elastic_deadline
         record.config["event_breakdown"] = cluster.events.breakdown()
         return record
     finally:

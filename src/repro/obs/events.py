@@ -28,6 +28,9 @@ __all__ = [
     "SHARD_RPC",
     "SWEEP_CELL",
     "PROFILE_OP",
+    "GOSSIP_MIX",
+    "ASYNC_APPLY",
+    "WORKER_DROPOUT",
     "validate_event_name",
 ]
 
@@ -51,6 +54,12 @@ SHARD_RPC = "shard_rpc"
 SWEEP_CELL = "sweep_cell"
 #: One aggregated per-op profiler row bridged into the trace at flush time.
 PROFILE_OP = "profile_op"
+#: One decentralized gossip-mixing collective (replaces AVERAGE's exact mean).
+GOSSIP_MIX = "gossip_mix"
+#: One staleness-weighted server-side fold of an arriving async update.
+ASYNC_APPLY = "async_apply"
+#: One elastic round in which at least one worker dropped out before averaging.
+WORKER_DROPOUT = "worker_dropout"
 
 #: Every event name a tracer will accept.  Frozen: tooling and the OBS001
 #: analysis rule treat this as the trace schema.
@@ -65,6 +74,9 @@ EVENT_NAMES = frozenset({
     "shard_rpc",
     "sweep_cell",
     "profile_op",
+    "gossip_mix",
+    "async_apply",
+    "worker_dropout",
 })
 
 

@@ -63,12 +63,23 @@ STANDARD_METRICS = (
     ("counter", "sweep_cells_executed_total"),
     ("counter", "sweep_cells_cached_total"),
     ("counter", "sweep_cells_failed_total"),
+    # Async/decentralized method family: gossip collectives run, async server
+    # folds applied, workers dropped by the elastic straggler process.
+    ("counter", "gossip_rounds_total"),
+    ("counter", "async_applies_total"),
+    ("counter", "worker_dropouts_total"),
     ("gauge", "workers"),
+    # Post-mix disagreement of the gossip network (0 under exact averaging).
+    ("gauge", "consensus_distance"),
     ("histogram", "shard_rpc_seconds"),
     # Wall-clock time of state gathers (sync_states/get_states/mean_state),
     # the phase the shm plane exists to accelerate.
     ("histogram", "shard_gather_seconds"),
     ("histogram", "straggler_wait_virtual_seconds"),
+    # Per-applied-update staleness under the async parameter server: how many
+    # server versions elapsed between a worker's pull and its push (a count,
+    # so the second-scale default buckets double as small-integer bins).
+    ("histogram", "staleness_updates"),
 )
 
 

@@ -27,7 +27,7 @@ from repro.runtime.distributions import DelayDistribution
 from repro.runtime.network import NetworkModel
 from repro.utils.seeding import check_random_state
 
-__all__ = ["IterationTiming", "RuntimeSimulator"]
+__all__ = ["IterationTiming", "AsyncRoundTiming", "RuntimeSimulator"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,26 @@ class IterationTiming:
         return self.compute_time + self.communication_time
 
 
+@dataclass(frozen=True)
+class AsyncRoundTiming:
+    """Per-worker timings of one asynchronous generation (no barrier).
+
+    Attributes
+    ----------
+    arrival_times:
+        Absolute per-worker virtual times at which each worker's update
+        reaches the parameter server (its clock + τ steps + one push delay).
+    per_worker_compute:
+        Per-worker total compute time of the τ local steps.
+    per_worker_push:
+        Per-worker point-to-point push delay to the server.
+    """
+
+    arrival_times: np.ndarray
+    per_worker_compute: np.ndarray
+    per_worker_push: np.ndarray
+
+
 class RuntimeSimulator:
     """Samples compute and communication delays for a simulated cluster."""
 
@@ -69,6 +89,9 @@ class RuntimeSimulator:
         self.network = network
         self.n_workers = int(n_workers)
         self._rng = check_random_state(rng)
+        # Per-worker virtual clocks for the async (barrier-free) execution
+        # mode; synchronous paths never read or advance them.
+        self.worker_clocks = np.zeros(self.n_workers)
         # Cumulative accounting, handy for Figure-8 style comm-vs-comp breakdowns.
         self.total_compute_time = 0.0
         self.total_communication_time = 0.0
@@ -109,6 +132,37 @@ class RuntimeSimulator:
             compute_time=compute_time,
             communication_time=0.0,
             per_worker_compute=per_worker,
+        )
+
+    def sample_async_period(self, tau: int) -> AsyncRoundTiming:
+        """Per-worker timings of τ async local steps plus a server push.
+
+        Unlike :meth:`sample_local_period` there is no barrier: each worker
+        advances its *own* virtual clock by its τ-step compute time plus one
+        point-to-point push delay (the network scaling evaluated at size 1 —
+        a single worker↔server transfer, not an all-node collective), and the
+        absolute arrival times determine the order in which the parameter
+        server folds the updates in.
+        """
+        if tau < 1:
+            raise ValueError(f"tau must be >= 1, got {tau}")
+        draws = self.compute.sample((self.n_workers, tau), self._rng)
+        per_worker = draws.sum(axis=1)
+        push = np.atleast_1d(
+            self.network.sample_delay(1, self._rng, size=self.n_workers)
+        ).astype(float)
+        arrivals = self.worker_clocks + per_worker + push
+        self.worker_clocks = arrivals.copy()
+        # Accounting under async is per-worker (there is no straggler-bound
+        # barrier to attribute the round to): mean compute and push times.
+        self.total_compute_time += float(per_worker.mean())
+        self.total_communication_time += float(push.mean())
+        self.n_local_steps += tau
+        self.n_communication_rounds += 1
+        return AsyncRoundTiming(
+            arrival_times=arrivals,
+            per_worker_compute=per_worker,
+            per_worker_push=push,
         )
 
     def sample_communication(self) -> float:

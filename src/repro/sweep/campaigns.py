@@ -15,6 +15,10 @@ The paper's headline artifacts are all campaign-shaped:
 * ``variable_vs_fixed_tau`` — ADACOMM against the best fixed-τ baselines,
   seed-replicated (the variable-τ vs fixed-τ comparison).
 * ``worker_scaling`` — the m × τ grid (scaling sweeps over cluster size).
+* ``method_family_frontier`` — the full method family (synchronous, gossip
+  over ring/star/MH topologies, async with staleness, elastic dropout, and
+  ADACOMM) on one workload, so every execution model lands on the same
+  error-runtime frontier figure.
 * ``smoke_2x2`` — a 2×2 miniature used by tests and the CI sweep-smoke job.
 
 Budgets are scaled down so every campaign completes in seconds on one core
@@ -31,7 +35,13 @@ from repro.api.registries import SWEEPS
 from repro.experiments.configs import make_config
 from repro.sweep.spec import SweepSpec, grid
 
-__all__ = ["tau_sweep", "method_sweep", "scaling_sweep", "smoke_sweep"]
+__all__ = [
+    "tau_sweep",
+    "method_sweep",
+    "scaling_sweep",
+    "method_family_sweep",
+    "smoke_sweep",
+]
 
 
 def tau_sweep(
@@ -79,6 +89,40 @@ def scaling_sweep(
     )
 
 
+def method_family_sweep(
+    config: str = "smoke",
+    methods: Sequence[str] = (
+        "sync-sgd",
+        "pasgd-tau8",
+        "adacomm",
+        "gossip-ring-tau8",
+        "gossip-star-tau8",
+        "gossip-mh-tau8",
+        "async-tau8",
+        "elastic:p=0.1,tau=8",
+    ),
+    seeds: Sequence[int] = (7, 8),
+    n_workers: int = 6,
+    scale: float = 1.0,
+) -> SweepSpec:
+    """Every execution model of the method family on one shared workload.
+
+    One method spec per cell (replicated over seeds, ``seed_mode="shared"``
+    so all methods see the same datasets and initializations) covering the
+    synchronous baselines, the three gossip topologies, barrier-free async,
+    and elastic dropout — the campaign behind the combined
+    error-runtime-frontier figure.  ``n_workers`` defaults to 6 — the
+    smallest cluster where the Metropolis-Hastings chordal ring (cycle plus
+    the i→i+2 chords) is a genuinely sparse graph rather than complete.
+    """
+    base = make_config(config, scale=scale, n_workers=n_workers)
+    return SweepSpec(
+        name="method_family_frontier",
+        base=base,
+        axes=grid(method=list(methods), seed=list(seeds)),
+    )
+
+
 def smoke_sweep() -> SweepSpec:
     """A 2×2 miniature campaign (τ × seed on the smoke config) for CI/tests."""
     base = make_config("smoke")
@@ -88,4 +132,5 @@ def smoke_sweep() -> SweepSpec:
 SWEEPS.register("tau_error_runtime", tau_sweep)
 SWEEPS.register("variable_vs_fixed_tau", method_sweep)
 SWEEPS.register("worker_scaling", scaling_sweep)
+SWEEPS.register("method_family_frontier", method_family_sweep)
 SWEEPS.register("smoke_2x2", smoke_sweep)

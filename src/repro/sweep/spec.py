@@ -145,7 +145,10 @@ def cell_hash(config: ExperimentConfig) -> str:
     for field_name, default in HASH_DEFAULT_ELIDED_FIELDS.items():
         if payload.get(field_name) == default:
             payload.pop(field_name, None)
-    canonical = json.dumps(payload, sort_keys=True)
+    # allow_nan=False: a non-finite value in a config field would serialize
+    # as a non-RFC-8259 token whose bytes (and thus the address) depend on
+    # the writer — better to refuse loudly than to mint a fragile address.
+    canonical = json.dumps(payload, sort_keys=True, allow_nan=False)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:HASH_LENGTH]
 
 

@@ -26,7 +26,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.sweep.spec import format_overrides
-from repro.utils.results import RunStore
+from repro.utils.results import RunStore, decode_json_floats, encode_json_floats
 
 __all__ = ["ResultStore", "CellResult", "MergeReport", "QueryHit"]
 
@@ -99,10 +99,29 @@ class MergeReport:
 
 
 def _dump_json(path: Path, payload: Any) -> None:
-    """Write JSON deterministically (sorted keys) and atomically."""
+    """Write JSON deterministically (sorted keys) and atomically.
+
+    Strictly RFC 8259: non-finite floats (``max_iterations`` is ``inf`` in
+    every run config; unevaluated accuracies are ``nan``) become tagged
+    sentinel strings, and ``allow_nan=False`` turns any future regression
+    into a loud ``ValueError`` instead of a silently non-portable file.
+    """
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp.write_text(
+        json.dumps(encode_json_floats(payload), indent=2, sort_keys=True, allow_nan=False)
+        + "\n"
+    )
     os.replace(tmp, path)
+
+
+def _load_json(path: Path) -> Any:
+    """Read a store file, mapping sentinel strings back to their floats.
+
+    Pre-sentinel files with bare ``NaN``/``Infinity`` tokens still load:
+    Python's permissive parser yields float objects, which pass through
+    :func:`decode_json_floats` unchanged.
+    """
+    return decode_json_floats(json.loads(path.read_text()))
 
 
 class ResultStore:
@@ -144,14 +163,14 @@ class ResultStore:
     def meta(self, address: str) -> dict[str, Any]:
         """The ``cell.json`` payload of a stored cell."""
         try:
-            return json.loads(self._meta_path(address).read_text())
+            return _load_json(self._meta_path(address))
         except FileNotFoundError:
             raise KeyError(f"cell {address!r} not in store {self.root}") from None
 
     def runs(self, address: str) -> RunStore:
         """The :class:`RunStore` (all method trajectories) of a stored cell."""
         try:
-            payload = json.loads(self._result_path(address).read_text())
+            payload = _load_json(self._result_path(address))
         except FileNotFoundError:
             raise KeyError(f"cell {address!r} not in store {self.root}") from None
         return RunStore.from_payload(payload)
@@ -202,7 +221,7 @@ class ResultStore:
     def metrics(self, address: str) -> dict[str, Any]:
         """A stored cell's ``metrics.json`` sidecar payload."""
         try:
-            return json.loads(self._metrics_path(address).read_text())
+            return _load_json(self._metrics_path(address))
         except FileNotFoundError:
             raise KeyError(
                 f"cell {address!r} has no metrics sidecar in store {self.root}"
@@ -219,7 +238,7 @@ class ResultStore:
     def manifest(self, campaign: str) -> dict[str, Any]:
         path = self.root / "sweeps" / f"{campaign}.json"
         try:
-            return json.loads(path.read_text())
+            return _load_json(path)
         except FileNotFoundError:
             raise KeyError(f"no manifest for campaign {campaign!r} in {self.root}") from None
 
@@ -249,7 +268,7 @@ class ResultStore:
         distinguishes stored results from still-pending addresses, so the
         verb also answers "what is left to run".
         """
-        where = json.loads(json.dumps(dict(where or {}), sort_keys=True))
+        where = json.loads(json.dumps(dict(where or {}), sort_keys=True, allow_nan=False))
         campaigns = [campaign] if campaign is not None else self.campaigns()
         hits: list[QueryHit] = []
         for name in campaigns:

@@ -16,7 +16,61 @@ from dataclasses import dataclass, field, asdict
 from pathlib import Path
 from typing import Any, Iterable, Iterator
 
-__all__ = ["MetricPoint", "RunRecord", "RunStore"]
+__all__ = [
+    "MetricPoint",
+    "RunRecord",
+    "RunStore",
+    "encode_json_floats",
+    "decode_json_floats",
+]
+
+#: Tagged sentinels for the three non-finite floats.  RFC 8259 has no NaN or
+#: Infinity literal, but Python's default ``json.dumps(allow_nan=True)``
+#: writes them anyway — producing files no conforming parser accepts.  Every
+#: on-disk store therefore encodes non-finite floats as these strings (and
+#: serializes with ``allow_nan=False`` so a regression fails loudly instead
+#: of silently writing an invalid file); reads decode them symmetrically.
+_NONFINITE_ENCODE = {math.inf: "Infinity", -math.inf: "-Infinity"}
+_NONFINITE_DECODE = {
+    "NaN": math.nan,
+    "Infinity": math.inf,
+    "-Infinity": -math.inf,
+}
+
+
+def encode_json_floats(value: Any) -> Any:
+    """Recursively replace non-finite floats with tagged sentinel strings.
+
+    The inverse of :func:`decode_json_floats`; containers are rebuilt (the
+    input is never mutated), finite values pass through untouched.
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return _NONFINITE_ENCODE[value]
+        return value
+    if isinstance(value, dict):
+        return {key: encode_json_floats(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_json_floats(item) for item in value]
+    return value
+
+
+def decode_json_floats(value: Any) -> Any:
+    """Recursively replace sentinel strings with the floats they encode.
+
+    Also maps literal ``NaN``/``Infinity`` tokens that Python's permissive
+    parser produced from *pre-sentinel* files (they arrive as float objects
+    and pass through unchanged), so old stores stay readable.
+    """
+    if isinstance(value, str):
+        return _NONFINITE_DECODE.get(value, value)
+    if isinstance(value, dict):
+        return {key: decode_json_floats(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_json_floats(item) for item in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -240,12 +294,26 @@ class RunStore:
         return store
 
     def save(self, path: str | Path) -> None:
-        """Serialize the whole store to a JSON file."""
-        Path(path).write_text(json.dumps(self.to_payload(), indent=2, sort_keys=True))
+        """Serialize the whole store to a strictly RFC 8259 compliant JSON file.
+
+        Non-finite floats (unevaluated ``test_accuracy`` is ``nan``;
+        ``time_to_loss`` summaries can be ``inf``) are stored as tagged
+        sentinel strings via :func:`encode_json_floats` — the default
+        ``allow_nan=True`` would emit bare ``NaN``/``Infinity`` tokens that
+        no conforming JSON parser accepts.
+        """
+        Path(path).write_text(
+            json.dumps(
+                encode_json_floats(self.to_payload()),
+                indent=2,
+                sort_keys=True,
+                allow_nan=False,
+            )
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "RunStore":
-        return cls.from_payload(json.loads(Path(path).read_text()))
+        return cls.from_payload(decode_json_floats(json.loads(Path(path).read_text())))
 
     @classmethod
     def from_records(cls, records: Iterable[RunRecord]) -> "RunStore":

@@ -243,13 +243,18 @@ def equivalence_cases() -> list[EquivalenceCase]:
     return cases
 
 
-def build_equivalence_cluster(case: EquivalenceCase, backend: str, n_workers: int = 4):
+def build_equivalence_cluster(
+    case: EquivalenceCase, backend: str, n_workers: int = 4, **cluster_kwargs
+):
     """A small seeded cluster for one matrix workload on one backend.
 
     Sharded clusters run on 2 processes (close them after use); all other
     knobs are identical across backends by construction.  ``backend`` may be
     a pseudo-backend from :data:`BACKEND_TRANSPORTS` (e.g. "sharded-shm"),
     which resolves to the real backend name plus a pinned shard transport.
+    Extra ``cluster_kwargs`` (``topology``, ``dropout_prob``, ...) pass
+    through to :class:`SimulatedCluster` so the method-family tests reuse
+    the same seeded workloads.
     """
     from repro.distributed.cluster import SimulatedCluster
 
@@ -285,6 +290,7 @@ def build_equivalence_cluster(case: EquivalenceCase, backend: str, n_workers: in
         backend=backend,
         n_shards=2,
         shard_transport=shard_transport,
+        **cluster_kwargs,
     )
 
 

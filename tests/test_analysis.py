@@ -327,7 +327,24 @@ def test_hash001_flags_any_unsorted_dumps_in_store_modules(tmp_path):
         {"repro/sweep/store.py": "import json\ndef save(p, d):\n    p.write_text(json.dumps(d))\n"},
         select=["HASH001"],
     )
+    # A bare dumps in a store module breaks both contracts at once:
+    # canonical key order and RFC 8259 float portability.
+    assert _rules_of(report) == ["HASH001", "HASH001"]
+    messages = sorted(f.message for f in report.findings)
+    assert "allow_nan=False" in messages[0]
+    assert "sort_keys=True" in messages[1]
+
+
+def test_hash001_flags_allow_nan_regression_in_store_modules(tmp_path):
+    source = (
+        "import json\n"
+        "def save(p, d):\n"
+        "    p.write_text(json.dumps(d, sort_keys=True))\n"
+    )
+    report = _run(tmp_path, {"repro/sweep/store.py": source}, select=["HASH001"])
     assert _rules_of(report) == ["HASH001"]
+    assert "allow_nan=False" in report.findings[0].message
+    assert "NaN" in report.findings[0].message
 
 
 def test_hash001_flags_raw_set_iteration_in_store_modules(tmp_path):
@@ -346,7 +363,7 @@ def test_hash001_accepts_canonical_forms(tmp_path):
     source = (
         "import hashlib, json\n"
         "def address(payload):\n"
-        "    blob = json.dumps(payload, sort_keys=True)\n"
+        "    blob = json.dumps(payload, sort_keys=True, allow_nan=False)\n"
         "    return hashlib.sha256(blob.encode()).hexdigest()\n"
         "def tags(cells):\n"
         "    return [t for t in sorted({c.tag for c in cells})]\n"

@@ -1,0 +1,468 @@
+"""Tests for the async & decentralized method family.
+
+Covers the three execution models added on top of the synchronous PASGD
+substrate — gossip averaging over sparse topologies, the barrier-free async
+parameter server with staleness tracking, and elastic straggler dropout —
+plus the divergence-path regressions that ride along (AdaComm under NaN
+losses, the guaranteed final evaluation).
+
+The backend-equivalence contract extends to every new path: gossip, async,
+and elastic rounds must be byte-identical between the loop reference and the
+vectorized bank, because they are built exclusively from backend-generic
+operations (``local_period`` / ``get_stacked_states`` /
+``set_stacked_states`` / ``broadcast_state``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.conftest import build_equivalence_cluster, equivalence_cases
+from repro.distributed.averaging import weighted_average_states
+from repro.distributed.topology import consensus_distance, mixing_matrix_for
+from repro.experiments.configs import ExperimentConfig, make_config
+from repro.experiments.harness import parse_method_spec, run_method
+from repro.obs.events import EVENT_NAMES
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+GOSSIP_WORKERS = 6  # smallest m where the MH chordal ring is not complete
+
+_CASES = {case.id: case for case in equivalence_cases()}
+_MLP = _CASES["mlp"]
+
+
+def _async_fingerprint(cluster, rounds=3, tau=2, damping=0.0):
+    out = {"losses": [], "synced": []}
+    for _ in range(rounds):
+        out["losses"].append(cluster.run_async_round(tau, staleness_damping=damping))
+        out["synced"].append(cluster.synchronized_parameters)
+    return out
+
+
+# -- gossip averaging ---------------------------------------------------------
+
+
+class TestGossipCluster:
+    @pytest.mark.parametrize("topology", ["ring", "star", "mh"])
+    def test_loop_and_vectorized_are_byte_identical(self, topology):
+        ref = build_equivalence_cluster(
+            _MLP, "loop", n_workers=GOSSIP_WORKERS, topology=topology
+        )
+        cand = build_equivalence_cluster(
+            _MLP, "vectorized", n_workers=GOSSIP_WORKERS, topology=topology
+        )
+        for _ in range(2):
+            assert cand.run_local_period(3) == ref.run_local_period(3)
+            np.testing.assert_array_equal(cand.average_models(), ref.average_models())
+        np.testing.assert_array_equal(
+            cand.backend.get_stacked_states(), ref.backend.get_stacked_states()
+        )
+
+    def test_complete_topology_is_byte_identical_to_default(self):
+        default = build_equivalence_cluster(_MLP, "vectorized", n_workers=4)
+        complete = build_equivalence_cluster(
+            _MLP, "vectorized", n_workers=4, topology="complete"
+        )
+        for _ in range(2):
+            assert complete.run_local_period(3) == default.run_local_period(3)
+            np.testing.assert_array_equal(
+                complete.average_models(), default.average_models()
+            )
+
+    def test_gossip_matches_explicit_mixing_matrix(self):
+        cluster = build_equivalence_cluster(
+            _MLP, "vectorized", n_workers=GOSSIP_WORKERS, topology="ring"
+        )
+        cluster.run_local_period(2)
+        before = cluster.backend.get_stacked_states().copy()
+        averaged = cluster.average_models()
+        after = cluster.backend.get_stacked_states()
+        W = mixing_matrix_for("ring", GOSSIP_WORKERS)
+        np.testing.assert_array_equal(after, W @ before)
+        np.testing.assert_array_equal(averaged, after.mean(axis=0))
+
+    def test_gossip_rounds_compound_and_contract(self):
+        one = build_equivalence_cluster(
+            _MLP, "vectorized", n_workers=GOSSIP_WORKERS, topology="ring"
+        )
+        three = build_equivalence_cluster(
+            _MLP,
+            "vectorized",
+            n_workers=GOSSIP_WORKERS,
+            topology="ring",
+            gossip_rounds=3,
+        )
+        one.run_local_period(2)
+        three.run_local_period(2)
+        pre = consensus_distance(list(one.backend.get_stacked_states()))
+        one.average_models()
+        three.average_models()
+        d1 = consensus_distance(list(one.backend.get_stacked_states()))
+        d3 = consensus_distance(list(three.backend.get_stacked_states()))
+        assert d1 < pre and d3 < d1
+
+    def test_gossip_workers_stay_decentralized(self):
+        # After a sparse gossip mix, workers must NOT share one model (that
+        # would be exact averaging); they only agree in the mean.
+        cluster = build_equivalence_cluster(
+            _MLP, "vectorized", n_workers=GOSSIP_WORKERS, topology="ring"
+        )
+        cluster.run_local_period(2)
+        cluster.average_models()
+        states = cluster.backend.get_stacked_states()
+        assert consensus_distance(list(states)) > 0.0
+
+    def test_gossip_emits_events_and_metrics(self):
+        assert {"gossip_mix", "async_apply", "worker_dropout"} <= EVENT_NAMES
+        with Tracer() as tracer, MetricsRegistry() as registry:
+            cluster = build_equivalence_cluster(
+                _MLP, "vectorized", n_workers=GOSSIP_WORKERS, topology="mh"
+            )
+            cluster.run_local_period(2)
+            cluster.average_models()
+        names = {e["name"] for e in tracer.finish()}
+        assert "gossip_mix" in names
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["gossip_rounds_total"] == 1.0
+        assert snapshot["gauges"]["consensus_distance"] > 0.0
+
+    def test_gossip_rejects_block_momentum(self):
+        from repro.optim.block_momentum import BlockMomentum
+
+        with pytest.raises(ValueError, match="block momentum"):
+            build_equivalence_cluster(
+                _MLP,
+                "vectorized",
+                n_workers=GOSSIP_WORKERS,
+                topology="ring",
+                block_momentum=BlockMomentum(0.3),
+            )
+
+
+# -- async parameter server ---------------------------------------------------
+
+
+class TestAsyncCluster:
+    def test_loop_and_vectorized_are_byte_identical(self):
+        ref = build_equivalence_cluster(_MLP, "loop", n_workers=4)
+        cand = build_equivalence_cluster(_MLP, "vectorized", n_workers=4)
+        fp_ref = _async_fingerprint(ref)
+        fp_cand = _async_fingerprint(cand)
+        assert fp_cand["losses"] == fp_ref["losses"]
+        for a, b in zip(fp_cand["synced"], fp_ref["synced"]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_same_seed_is_deterministic(self):
+        a = _async_fingerprint(build_equivalence_cluster(_MLP, "vectorized"))
+        b = _async_fingerprint(build_equivalence_cluster(_MLP, "vectorized"))
+        assert a["losses"] == b["losses"]
+        for x, y in zip(a["synced"], b["synced"]):
+            np.testing.assert_array_equal(x, y)
+
+    def test_staleness_damping_changes_trajectory(self):
+        plain = _async_fingerprint(build_equivalence_cluster(_MLP, "vectorized"))
+        damped = _async_fingerprint(
+            build_equivalence_cluster(_MLP, "vectorized"), damping=0.5
+        )
+        assert any(
+            not np.array_equal(a, b)
+            for a, b in zip(plain["synced"], damped["synced"])
+        )
+
+    def test_staleness_histogram_and_events(self):
+        m = 4
+        with Tracer() as tracer, MetricsRegistry() as registry:
+            cluster = build_equivalence_cluster(_MLP, "vectorized", n_workers=m)
+            cluster.run_async_round(2)
+        events = [e for e in tracer.finish() if e["name"] == "async_apply"]
+        assert len(events) == m
+        # One generation folds m arrivals: the k-th applied update has seen
+        # k earlier server versions since its pull.
+        assert sorted(e["fields"]["staleness"] for e in events) == list(range(m))
+        snapshot = registry.snapshot()
+        hist = snapshot["histograms"]["staleness_updates"]
+        assert hist["count"] == m
+        assert hist["max"] == float(m - 1)
+        assert snapshot["counters"]["async_applies_total"] == float(m)
+
+    def test_worker_clocks_advance_independently(self):
+        cluster = build_equivalence_cluster(_MLP, "vectorized", n_workers=4)
+        runtime = cluster.runtime
+        assert np.all(runtime.worker_clocks == 0.0)
+        cluster.run_async_round(2)
+        first = runtime.worker_clocks.copy()
+        assert np.all(first > 0.0)
+        cluster.run_async_round(2)
+        assert np.all(runtime.worker_clocks > first)
+        # The cluster clock tracks the latest arrival, not a barrier sum.
+        assert cluster.clock.now == pytest.approx(float(runtime.worker_clocks.max()))
+
+    def test_rejects_bad_arguments(self):
+        cluster = build_equivalence_cluster(_MLP, "vectorized")
+        with pytest.raises(ValueError):
+            cluster.run_async_round(0)
+        with pytest.raises(ValueError):
+            cluster.run_async_round(2, staleness_damping=-0.1)
+
+
+# -- elastic stragglers -------------------------------------------------------
+
+
+class TestElasticCluster:
+    def test_dropout_is_deterministic_given_seed(self):
+        def survivors_trace(cluster, rounds=4):
+            trace = []
+            for _ in range(rounds):
+                cluster.run_local_period(2)
+                s = cluster._last_survivors
+                trace.append(None if s is None else s.tolist())
+                cluster.average_models()
+            return trace
+
+        a = survivors_trace(
+            build_equivalence_cluster(_MLP, "vectorized", dropout_prob=0.5)
+        )
+        b = survivors_trace(
+            build_equivalence_cluster(_MLP, "vectorized", dropout_prob=0.5)
+        )
+        assert a == b
+        assert any(s is not None and len(s) < 4 for s in a)
+
+    def test_loop_and_vectorized_are_byte_identical(self):
+        ref = build_equivalence_cluster(_MLP, "loop", dropout_prob=0.4)
+        cand = build_equivalence_cluster(_MLP, "vectorized", dropout_prob=0.4)
+        for _ in range(3):
+            assert cand.run_local_period(2) == ref.run_local_period(2)
+            np.testing.assert_array_equal(cand.average_models(), ref.average_models())
+
+    def test_dropout_rng_does_not_perturb_worker_streams(self):
+        # The elastic RNG is spawned after the worker streams (and only when
+        # the feature is on), so the first period's losses — drawn before any
+        # averaging — must match the non-elastic cluster exactly.
+        plain = build_equivalence_cluster(_MLP, "vectorized")
+        elastic = build_equivalence_cluster(_MLP, "vectorized", dropout_prob=0.5)
+        assert elastic.run_local_period(3) == plain.run_local_period(3)
+
+    def test_survivor_average_folds_only_survivors(self):
+        cluster = build_equivalence_cluster(_MLP, "vectorized", dropout_prob=0.5)
+        found = False
+        for _ in range(6):
+            cluster.run_local_period(2)
+            survivors = cluster._last_survivors
+            states = cluster.backend.get_stacked_states().copy()
+            averaged = cluster.average_models()
+            if survivors is not None and 0 < len(survivors) < cluster.n_workers:
+                expected = weighted_average_states(
+                    [states[i] for i in survivors], [1.0] * len(survivors)
+                )
+                np.testing.assert_array_equal(averaged, expected)
+                found = True
+                break
+        assert found, "no partial-survivor round in 6 tries (seeded; should not happen)"
+
+    def test_fastest_worker_always_survives(self):
+        # A deadline below every per-worker compute time drops everyone; the
+        # fastest worker must be resurrected so the round still averages.
+        cluster = build_equivalence_cluster(
+            _MLP, "vectorized", dropout_deadline=1e-6
+        )
+        cluster.run_local_period(2)
+        survivors = cluster._last_survivors
+        assert survivors is not None and len(survivors) == 1
+        cluster.average_models()  # completes without raising
+
+    def test_broadcast_rejoins_dropped_workers(self):
+        cluster = build_equivalence_cluster(_MLP, "vectorized", dropout_prob=0.6)
+        for _ in range(3):
+            cluster.run_local_period(2)
+            averaged = cluster.average_models()
+            states = cluster.backend.get_stacked_states()
+            for row in states:  # broadcast reaches every worker, dropped or not
+                np.testing.assert_array_equal(row, averaged)
+
+    def test_dropout_emits_events_and_metrics(self):
+        with Tracer() as tracer, MetricsRegistry() as registry:
+            cluster = build_equivalence_cluster(_MLP, "vectorized", dropout_prob=0.5)
+            dropped = 0
+            for _ in range(5):
+                cluster.run_local_period(2)
+                s = cluster._last_survivors
+                dropped += cluster.n_workers - len(s)
+                cluster.average_models()
+        events = [e for e in tracer.finish() if e["name"] == "worker_dropout"]
+        assert dropped > 0
+        assert sum(e["fields"]["dropped"] for e in events) == dropped
+        assert registry.snapshot()["counters"]["worker_dropouts_total"] == float(dropped)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_equivalence_cluster(_MLP, "vectorized", dropout_prob=1.0)
+        with pytest.raises(ValueError):
+            build_equivalence_cluster(_MLP, "vectorized", dropout_deadline=0.0)
+        with pytest.raises(ValueError):
+            build_equivalence_cluster(_MLP, "vectorized", gossip_rounds=0)
+        with pytest.raises(ValueError):
+            build_equivalence_cluster(_MLP, "vectorized", topology="hypercube")
+
+
+# -- config plumbing ----------------------------------------------------------
+
+
+class TestConfigPlumbing:
+    def test_new_fields_are_sparse_in_to_dict(self):
+        payload = make_config("smoke").to_dict()
+        for name in (
+            "topology",
+            "gossip_rounds",
+            "staleness_damping",
+            "elastic_dropout_prob",
+            "elastic_deadline",
+        ):
+            assert name not in payload
+        # Non-default values do serialize and round-trip.
+        cfg = make_config("smoke", topology="ring", gossip_rounds=2)
+        data = cfg.to_dict()
+        assert data["topology"] == "ring" and data["gossip_rounds"] == 2
+        assert ExperimentConfig.from_dict(data) == cfg
+
+    def test_default_cell_address_is_unchanged_by_new_fields(self):
+        from repro.sweep.spec import cell_hash
+
+        cfg = make_config("smoke")
+        legacy_payload = {
+            k: v for k, v in cfg.to_dict().items()
+        }  # defaults already elided
+        assert cell_hash(cfg) == cell_hash(ExperimentConfig.from_dict(legacy_payload))
+        assert cell_hash(cfg) != cell_hash(cfg.with_overrides(topology="ring"))
+
+    def test_validation_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            make_config("smoke", topology="mesh").validate()
+        with pytest.raises(ValueError):
+            make_config("smoke", gossip_rounds=0).validate()
+        with pytest.raises(ValueError):
+            make_config("smoke", elastic_dropout_prob=1.0).validate()
+        with pytest.raises(ValueError):
+            make_config("smoke", staleness_damping=-1.0).validate()
+        with pytest.raises(ValueError):
+            make_config("smoke", elastic_deadline=-2.0).validate()
+
+
+# -- method specs and the harness ---------------------------------------------
+
+
+class TestMethodSpecs:
+    @pytest.fixture
+    def cfg(self):
+        return make_config("smoke", n_workers=4, wall_time_budget=25.0)
+
+    @pytest.mark.parametrize(
+        "spec, label, mode, overrides",
+        [
+            ("gossip-ring-tau4", "gossip-ring-tau4", "sync",
+             {"topology": "ring", "gossip_rounds": 1}),
+            ("gossip:topology=star,tau=2,rounds=3", "gossip-star-tau2-r3", "sync",
+             {"topology": "star", "gossip_rounds": 3}),
+            ("async-tau8", "async-tau8", "async", {}),
+            ("async:tau=4,damping=0.5", "async-tau4-d0.5", "async",
+             {"staleness_damping": 0.5}),
+            ("elastic:p=0.1,tau=4", "elastic-tau4-p0.1", "sync",
+             {"elastic_dropout_prob": 0.1, "elastic_deadline": None}),
+        ],
+    )
+    def test_parse_forms(self, cfg, spec, label, mode, overrides):
+        method = parse_method_spec(spec, cfg)
+        assert method.label == label
+        assert method.mode == mode
+        assert method.overrides == overrides
+
+    def test_parse_rejects_malformed_specs(self, cfg):
+        for bad in ("gossip-tau4", "gossip", "gossip-ring-tauX",
+                    "async-tauX", "elastic", "elastic:tau=4"):
+            with pytest.raises(ValueError):
+                parse_method_spec(bad, cfg)
+
+    def test_classic_specs_are_unchanged(self, cfg):
+        method = parse_method_spec("pasgd-tau8", cfg)
+        assert method.overrides == {} and method.mode == "sync"
+        assert method.label == "pasgd-tau8"
+
+    def test_async_refuses_gossip_topology(self, cfg):
+        with pytest.raises(ValueError, match="parameter server"):
+            run_method(cfg.with_overrides(topology="ring"), "async-tau4")
+
+    @pytest.mark.parametrize(
+        "spec", ["gossip-ring-tau4", "async-tau4", "elastic:p=0.2,tau=4"]
+    )
+    def test_run_method_executes_family(self, cfg, spec):
+        record = run_method(cfg, spec)
+        assert len(record.points) >= 2
+        assert np.isfinite(record.points[-1].train_loss)
+
+    def test_family_records_tag_their_mode(self, cfg):
+        gossip = run_method(cfg, "gossip-ring-tau4")
+        assert gossip.config["topology"] == "ring"
+        sync = run_method(cfg, "sync-sgd")
+        assert "topology" not in sync.config and "mode" not in sync.config
+        asyn = run_method(cfg, "async-tau4")
+        assert asyn.config["mode"] == "async"
+        elastic = run_method(cfg, "elastic:p=0.2,tau=4")
+        assert elastic.config["elastic_dropout_prob"] == 0.2
+
+
+class TestMethodFamilyFrontier:
+    def test_campaign_covers_every_execution_model(self, tmp_path):
+        from repro.api.registries import SWEEPS
+        from repro.experiments.figures import sweep_error_runtime_frontier
+        from repro.sweep import ResultStore, SweepRunner
+        from repro.sweep.spec import SweepSpec
+
+        spec = SWEEPS.build("method_family_frontier")
+        quick = SweepSpec(
+            name=spec.name,
+            base=spec.base.with_overrides(wall_time_budget=15.0),
+            axes={"method": list(spec.axes["method"]), "seed": [7]},
+        )
+        store = ResultStore(tmp_path)
+        report = SweepRunner(store, jobs=1).run(quick)
+        assert not report.failed
+        rows = sweep_error_runtime_frontier(
+            store, target_loss=0.5, addresses=[c.address for c in report.cells]
+        )
+        labels = {label.split(" :: ")[1] for label, _, _ in rows}
+        assert {
+            "sync-sgd",
+            "pasgd-tau8",
+            "adacomm",
+            "gossip-ring-tau8",
+            "gossip-star-tau8",
+            "gossip-mh-tau8",
+            "async-tau8",
+            "elastic-tau8-p0.1",
+        } <= labels
+
+
+# -- divergence-path regressions ---------------------------------------------
+
+
+class TestDivergenceRegressions:
+    def test_diverging_adacomm_run_completes(self):
+        # An absurd learning rate makes the loss overflow to inf/NaN within a
+        # few rounds; AdaComm used to die in math.ceil(nan * tau).  Now the
+        # controller ignores non-finite observations and keeps its period.
+        cfg = make_config("smoke", lr=1e6, wall_time_budget=40.0)
+        record = run_method(cfg, "adacomm")
+        assert len(record.points) >= 2
+        assert not np.isfinite(record.points[-1].train_loss)
+
+    def test_final_point_is_always_evaluated(self):
+        cfg = make_config("smoke", eval_every_rounds=3, wall_time_budget=40.0)
+        record = run_method(cfg, "pasgd-tau4")
+        last = record.points[-1]
+        # Whether or not the budget expired on an eval round, the trajectory
+        # must end on a genuinely evaluated point.
+        assert np.isfinite(last.test_accuracy)
+        # Interior non-eval rounds still carry the nan sentinel.
+        assert any(np.isnan(p.test_accuracy) for p in record.points[1:-1])

@@ -13,10 +13,12 @@ import networkx as nx
 
 from repro.distributed.averaging import average_states
 from repro.distributed.topology import (
+    TOPOLOGIES,
     complete_mixing_matrix,
     consensus_distance,
     metropolis_hastings_weights,
     mix_states,
+    mixing_matrix_for,
     ring_mixing_matrix,
     rounds_to_consensus,
     spectral_gap,
@@ -130,6 +132,78 @@ def test_property_gossip_is_mean_preserving_contraction(m, rounds, seed):
     assert consensus_distance(mixed) <= consensus_distance(states) + 1e-9
 
 
+@settings(max_examples=40, deadline=None)
+@given(
+    topology=st.sampled_from(TOPOLOGIES),
+    m=st.integers(min_value=1, max_value=12),
+)
+def test_property_every_topology_builds_doubly_stochastic_matrix(topology, m):
+    """Every named topology yields a non-negative doubly-stochastic W for
+    every cluster size, so gossip always preserves the global mean."""
+    W = mixing_matrix_for(topology, m)
+    assert W.shape == (m, m)
+    assert np.all(W >= -1e-12)
+    np.testing.assert_allclose(W.sum(axis=0), np.ones(m), atol=1e-9)
+    np.testing.assert_allclose(W.sum(axis=1), np.ones(m), atol=1e-9)
+    gap = spectral_gap(W)
+    assert 0.0 <= gap <= 1.0 + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    p=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_metropolis_hastings_on_random_connected_graphs(n, p, seed):
+    """MH weights over any connected graph are symmetric doubly-stochastic."""
+    graph = nx.erdos_renyi_graph(n, p, seed=seed)
+    graph.add_edges_from((i, i + 1) for i in range(n - 1))  # force connectivity
+    W = metropolis_hastings_weights(graph)
+    np.testing.assert_allclose(W, W.T, atol=1e-12)
+    np.testing.assert_allclose(W.sum(axis=1), np.ones(n), atol=1e-9)
+    assert np.all(W >= -1e-12)
+    assert spectral_gap(W) > 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    topology=st.sampled_from(["ring", "star", "mh"]),
+    m=st.integers(min_value=3, max_value=10),
+    rounds=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_contraction_rate_matches_spectral_gap(topology, m, rounds, seed):
+    """The consensus deviation contracts at least as fast as |λ2|^rounds —
+    the linear-rate guarantee ``spectral_gap`` / ``rounds_to_consensus``
+    promise (Frobenius norm of the deviation from the preserved mean)."""
+    gen = np.random.default_rng(seed)
+    X0 = np.stack([gen.normal(size=6) for _ in range(m)])
+    W = mixing_matrix_for(topology, m)
+    Xr = np.stack(mix_states(list(X0), W, rounds=rounds))
+    lam2 = 1.0 - spectral_gap(W)
+    dev0 = np.linalg.norm(X0 - X0.mean(axis=0))
+    devr = np.linalg.norm(Xr - Xr.mean(axis=0))
+    assert devr <= (lam2**rounds) * dev0 + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=10),
+    dim=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_complete_mix_equals_exact_average(m, dim, seed):
+    """One complete-topology mix is the exact global average for every
+    worker — the invariant that keeps gossip a strict generalization."""
+    gen = np.random.default_rng(seed)
+    states = [gen.normal(size=dim) for _ in range(m)]
+    mixed = mix_states(states, mixing_matrix_for("complete", m), rounds=1)
+    exact = average_states(states)
+    for s in mixed:
+        np.testing.assert_allclose(s, exact, atol=1e-12)
+
+
 class TestCLI:
     def test_parser_defaults(self):
         args = build_parser().parse_args([])
@@ -153,3 +227,29 @@ class TestCLI:
     def test_main_with_explicit_target_and_seed(self, capsys):
         assert main(["--config", "smoke", "--seed", "3", "--target-loss", "0.5"]) == 0
         assert "speed-up" in capsys.readouterr().out.lower()
+
+    def test_parser_accepts_topology_and_staleness(self):
+        args = build_parser().parse_args(["--topology", "ring", "--staleness", "0.5"])
+        assert args.topology == "ring"
+        assert args.staleness == 0.5
+        assert build_parser().parse_args([]).topology is None
+
+    def test_parser_rejects_unknown_topology(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--topology", "mesh"])
+
+    def test_main_runs_gossip_via_topology_flag(self, capsys):
+        exit_code = main(
+            ["--config", "smoke", "--topology", "ring",
+             "--set", "methods=('pasgd-tau4',)", "--points", "3"]
+        )
+        assert exit_code == 0
+        assert "pasgd-tau4" in capsys.readouterr().out
+
+    def test_main_runs_async_with_staleness_flag(self, capsys):
+        exit_code = main(
+            ["--config", "smoke", "--staleness", "0.5",
+             "--set", "methods=('async-tau4',)", "--points", "3"]
+        )
+        assert exit_code == 0
+        assert "async-tau4-d0.5" in capsys.readouterr().out

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import math
 
 import numpy as np
@@ -141,6 +142,52 @@ class TestRunStore:
         loaded = RunStore.load(path)
         assert sorted(loaded.names()) == ["fast", "slow"]
         assert loaded.get("fast").final_loss() == store.get("fast").final_loss()
+
+    def test_saved_json_is_rfc8259_even_with_nonfinite_values(self, tmp_path):
+        # A diverged run logs inf/NaN losses and the nan test-accuracy
+        # sentinel; the saved file must still parse under a strict RFC 8259
+        # reader (json.dumps's permissive default would write bare
+        # NaN/Infinity tokens no other tool accepts) and the values must
+        # survive the round trip exactly.
+        diverged = RunRecord("diverged")
+        diverged.log(MetricPoint(iteration=0, wall_time=0.0, train_loss=2.0))
+        diverged.log(
+            MetricPoint(iteration=10, wall_time=1.0, train_loss=math.inf,
+                        extra={"grad_norm": -math.inf})
+        )
+        diverged.log(MetricPoint(iteration=20, wall_time=2.0, train_loss=math.nan))
+        path = tmp_path / "runs.json"
+        RunStore.from_records([diverged]).save(path)
+
+        def reject_constant(token):
+            raise AssertionError(f"non-RFC-8259 token {token!r} in saved JSON")
+
+        json.loads(path.read_text(), parse_constant=reject_constant)
+
+        rec = RunStore.load(path).get("diverged")
+        assert rec.points[1].train_loss == math.inf
+        assert rec.points[1].extra["grad_norm"] == -math.inf
+        assert math.isnan(rec.points[2].train_loss)
+        assert math.isnan(rec.points[2].test_accuracy)
+        assert rec.points[0].train_loss == 2.0
+
+    def test_sentinel_encode_decode_are_symmetric(self):
+        from repro.utils.results import decode_json_floats, encode_json_floats
+
+        payload = {
+            "a": [1.0, math.inf, -math.inf, math.nan],
+            "b": {"c": "Infinity", "d": "plain string"},
+        }
+        encoded = encode_json_floats(payload)
+        assert encoded["a"][1:] == ["Infinity", "-Infinity", "NaN"]
+        decoded = decode_json_floats(encoded)
+        assert decoded["a"][:3] == [1.0, math.inf, -math.inf]
+        assert math.isnan(decoded["a"][3])
+        # Strings that *look* like sentinels decode to floats by design —
+        # the mapping is symmetric, so a decode of an encode is lossless for
+        # numeric data, and "plain string" passes through untouched.
+        assert decoded["b"]["c"] == math.inf
+        assert decoded["b"]["d"] == "plain string"
 
 
 class TestLogging:
